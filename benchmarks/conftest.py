@@ -1,0 +1,31 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's figures/tables: it runs
+the experiment once under pytest-benchmark timing (rounds=1 — these are
+multi-second simulations, not microbenchmarks), prints the same series
+the paper plots, and asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    """Benchmark-sized experiments (≈ seconds per figure)."""
+    return ExperimentConfig(requests_per_site=30_000, azure_duration=1800.0)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

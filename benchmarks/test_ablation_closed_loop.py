@@ -1,0 +1,95 @@
+"""Ablation A7 — open-loop vs closed-loop load and the inversion picture.
+
+The paper's Gatling driver is open-loop (requests fire regardless of
+outstanding responses), which exposes queueing honestly.  Interactive
+applications are closed-loop: a fixed user population self-throttles
+when latency grows, softening — but not removing — the inversion.  This
+ablation matches a closed-loop population to each open-loop rate (via
+the interactive law) and compares the edge-vs-cloud verdicts.
+"""
+
+from repro.queueing.distributions import Exponential
+from repro.sim.client import ClosedLoopSource
+from repro.sim.engine import Simulation
+from repro.sim.network import ConstantLatency
+from repro.sim.runner import run_comparison
+from repro.sim.topology import CloudDeployment, EdgeDeployment, EdgeSite
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+SITES = 5
+THINK = 0.4  # seconds of think time per user
+DURATION = 1500.0
+EDGE_LAT = ConstantLatency.from_ms(1.0)
+CLOUD_LAT = ConstantLatency.from_ms(24.0)
+
+
+def run_closed_pair(users_per_site, seed):
+    """Closed-loop edge and cloud runs with identical populations."""
+    out = {}
+    for kind in ("edge", "cloud"):
+        sim = Simulation(seed)
+        if kind == "edge":
+            dep = EdgeDeployment(
+                sim,
+                [EdgeSite(sim, f"s{i}", 1, EDGE_LAT, SERVICE) for i in range(SITES)],
+            )
+            for i in range(SITES):
+                ClosedLoopSource(
+                    sim, dep, users=users_per_site, think=Exponential(THINK),
+                    site=f"s{i}", stop_time=DURATION,
+                )
+        else:
+            dep = CloudDeployment(
+                sim, servers=SITES, latency=CLOUD_LAT, service_dist=SERVICE
+            )
+            for _ in range(SITES):
+                ClosedLoopSource(
+                    sim, dep, users=users_per_site, think=Exponential(THINK),
+                    stop_time=DURATION,
+                )
+        sim.run()
+        bd = dep.log.breakdown().after(DURATION * 0.2)
+        out[kind] = (float(bd.end_to_end.mean()), len(bd) / (DURATION * 0.8))
+    return out
+
+
+def run_loop_comparison():
+    results = {}
+    # Open loop at the paper's 10 req/s/server point (rho = 0.77).
+    edge, cloud = run_comparison(
+        sites=SITES, servers_per_site=1, rate_per_site=10.0, service_dist=SERVICE,
+        edge_latency=EDGE_LAT, cloud_latency=CLOUD_LAT, duration=DURATION, seed=151,
+    )
+    results["open"] = {
+        "edge": float(edge.end_to_end.mean()),
+        "cloud": float(cloud.end_to_end.mean()),
+    }
+    # Closed loop sized to offer ~10 req/s/server when unqueued:
+    # N ≈ rate × (think + service) ≈ 10 × (0.4 + 0.077) ≈ 5 users/site.
+    closed = run_closed_pair(users_per_site=5, seed=151)
+    results["closed"] = {
+        "edge": closed["edge"][0],
+        "cloud": closed["cloud"][0],
+        "edge_rate": closed["edge"][1],
+        "cloud_rate": closed["cloud"][1],
+    }
+    return results
+
+
+def test_ablation_closed_loop(run_once):
+    res = run_once(run_loop_comparison)
+    print("\nAblation A7 — open vs closed loop at the ~10 req/s/server point")
+    print(f"  open  : edge {res['open']['edge'] * 1e3:7.1f} ms, "
+          f"cloud {res['open']['cloud'] * 1e3:7.1f} ms")
+    print(f"  closed: edge {res['closed']['edge'] * 1e3:7.1f} ms, "
+          f"cloud {res['closed']['cloud'] * 1e3:7.1f} ms "
+          f"(achieved {res['closed']['edge_rate'] / 5:.1f} req/s/server)")
+    # Open loop at rho=0.77 shows the inversion (typical cloud).
+    assert res["open"]["edge"] > res["open"]["cloud"]
+    # Closed-loop self-throttling shrinks the edge's penalty...
+    open_gap = res["open"]["edge"] - res["open"]["cloud"]
+    closed_gap = res["closed"]["edge"] - res["closed"]["cloud"]
+    assert closed_gap < open_gap
+    # ...and the cloud still pools better or equal under closed load.
+    assert res["closed"]["cloud"] <= res["closed"]["edge"] + 0.005

@@ -1,0 +1,71 @@
+"""Ablation A5 — the power of (even a little) centralization.
+
+Tsitsiklis & Xu (cited as [30, 31] in the paper) show that centralizing
+even a small fraction p of servers collapses queueing delays.  We sweep
+p with a fixed total fleet: k sites keep (1−p) of their servers and the
+rest pool at the cloud as an overflow tier (HybridDeployment).  Expected
+shape: latency drops steeply from p = 0 and flattens — most of the
+pooling benefit arrives with the first fraction centralized.
+"""
+
+from repro.mitigation.offload import HybridDeployment
+from repro.queueing.distributions import Exponential
+from repro.sim.client import OpenLoopSource
+from repro.sim.engine import Simulation
+from repro.sim.network import ConstantLatency
+from repro.sim.runner import run_deployment
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+SITES = 5
+SERVERS_PER_SITE = 4  # total fleet: 20 servers
+RATE_PER_SITE = 44.0  # rho = 0.846 per site at p = 0: queueing dominates
+# Offload once the local backlog reaches 2x the local servers: local
+# queues carry the base load (so the 25 ms offload RTT is only paid
+# during congestion) and the shed traffic keeps every central tier
+# stable across the sweep.
+OFFLOAD_THRESHOLD = 2.0
+DURATION = 1200.0
+
+
+def run_partial_pooling():
+    edge_lat = ConstantLatency.from_ms(1.0)
+    cloud_lat = ConstantLatency.from_ms(25.0)
+    out = {}
+    for p, local, central in ((0.0, 4, 0), (0.25, 3, 5), (0.5, 2, 10), (0.75, 1, 15)):
+        if central == 0:
+            bd = run_deployment(
+                "edge", sites=SITES, servers_per_site=local,
+                rate_per_site=RATE_PER_SITE, service_dist=SERVICE,
+                latency=edge_lat, duration=DURATION, seed=51,
+            )
+            out[p] = float(bd.end_to_end.mean())
+            continue
+        sim = Simulation(51)
+        hybrid = HybridDeployment(
+            sim, sites=SITES, servers_per_site=local, cloud_servers=central,
+            edge_latency=edge_lat, cloud_latency=cloud_lat,
+            service_dist=SERVICE, offload_threshold=OFFLOAD_THRESHOLD,
+        )
+        for i in range(SITES):
+            OpenLoopSource(
+                sim, hybrid, Exponential(1.0 / RATE_PER_SITE),
+                site=f"site-{i}", stop_time=DURATION,
+            )
+        sim.run()
+        out[p] = float(hybrid.log.breakdown().after(DURATION * 0.2).end_to_end.mean())
+    return out
+
+
+def test_ablation_partial_pooling(run_once):
+    res = run_once(run_partial_pooling)
+    print("\nAblation A5 — mean latency vs fraction of servers centralized")
+    for p, mean in res.items():
+        print(f"  p={p:4.2f}: {mean * 1e3:8.2f} ms")
+    ps = sorted(res)
+    # A little centralization helps a lot...
+    assert res[ps[1]] < res[ps[0]]
+    # ...and the first step captures most of the total gain.
+    total_gain = res[ps[0]] - min(res.values())
+    first_gain = res[ps[0]] - res[ps[1]]
+    assert first_gain > 0.5 * total_gain

@@ -1,0 +1,76 @@
+"""Ablation A8 — resource-constrained edge servers (§3.1.1's discussion).
+
+The paper: "performance inversion can still occur for the case of k=1
+if the edge uses a *different server configuration* than the cloud",
+and slower edge hardware makes inversion more likely at every k.  We
+sweep the edge slowdown factor and report the per-site inversion rate —
+analytically and by simulation — including the k=1 case the equal-
+hardware analysis rules out.
+"""
+
+import numpy as np
+
+from repro.core.inversion import inversion_rate_heterogeneous
+from repro.sim.fastsim import simulate_fcfs_queue
+
+MU_CLOUD = 13.0
+DELTA_N = 0.023
+SLOWDOWNS = (1.0, 1.1, 1.2, 1.3)
+
+
+def simulated_crossover(mu_edge, sites, seed=191, n=120_000):
+    """Per-site rate where simulated edge mean response exceeds cloud's + delta_n."""
+    rng = np.random.default_rng(seed)
+    rates = np.arange(1.0, min(mu_edge, MU_CLOUD) - 0.4, 0.75)
+    prev = None
+    for rate in rates:
+        edge = []
+        for _ in range(sites):
+            a = np.cumsum(rng.exponential(1.0 / rate, n))
+            s = rng.exponential(1.0 / mu_edge, n)
+            edge.append(simulate_fcfs_queue(a, s, 1) + s)
+        a = np.cumsum(rng.exponential(1.0 / (sites * rate), sites * n))
+        s = rng.exponential(1.0 / MU_CLOUD, sites * n)
+        cloud = simulate_fcfs_queue(a, s, sites) + s
+        gap = float(np.concatenate(edge).mean() - cloud.mean()) - DELTA_N
+        if gap > 0:
+            if prev is None:
+                return float(rate)
+            r0, g0 = prev
+            return float(r0 + (rate - r0) * (-g0) / (gap - g0))
+        prev = (rate, gap)
+    return None
+
+
+def run_slow_edge_sweep():
+    out = {}
+    for f in SLOWDOWNS:
+        mu_e = MU_CLOUD / f
+        analytic_k1 = inversion_rate_heterogeneous(DELTA_N, mu_e, MU_CLOUD, 1, 1, 1)
+        analytic_k5 = inversion_rate_heterogeneous(DELTA_N, mu_e, MU_CLOUD, 1, 5, 5)
+        sim_k5 = simulated_crossover(mu_e, 5)
+        out[f] = (analytic_k1, analytic_k5, sim_k5)
+    return out
+
+
+def test_ablation_slow_edge(run_once):
+    res = run_once(run_slow_edge_sweep)
+    print("\nAblation A8 — per-site inversion rate vs edge hardware slowdown")
+    print(f"{'slowdown':>9} {'k=1 analytic':>13} {'k=5 analytic':>13} {'k=5 simulated':>14}")
+    for f, (a1, a5, s5) in res.items():
+        fmt = lambda x: "never" if x is None else f"{x:.1f}"
+        print(f"{f:>9.1f} {fmt(a1):>13} {fmt(a5):>13} {fmt(s5):>14}")
+    # Equal hardware: k=1 never inverts (the paper's special case)...
+    assert res[1.0][0] is None
+    # ...but any slowdown creates a finite k=1 inversion point (or 0).
+    for f in SLOWDOWNS[1:]:
+        assert res[f][0] is not None
+    # Slower edges invert earlier at k=5, analytically and in simulation.
+    k5 = [res[f][1] for f in SLOWDOWNS]
+    assert all(x is not None for x in k5)
+    assert k5 == sorted(k5, reverse=True)
+    # Simulation agrees with the analytic k=5 crossover within the
+    # simulated sweep's grid resolution (0.75 req/s, floor at 1 req/s).
+    for f in SLOWDOWNS:
+        if res[f][2] is not None and res[f][1] is not None:
+            assert abs(res[f][2] - res[f][1]) <= 1.1

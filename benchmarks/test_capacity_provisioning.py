@@ -1,0 +1,37 @@
+"""§5.2 capacity table — C_edge = λ + 2√(kλ) vs C_cloud = λ + 2√λ.
+
+Paper: the edge always needs more peak capacity than the cloud; the
+penalty grows with k and shrinks (relatively) with scale.
+"""
+
+import numpy as np
+
+from repro.core.capacity import cloud_peak_capacity, edge_peak_capacity, provisioning_penalty
+
+
+def compute_capacity_table():
+    lams = (10.0, 100.0, 1000.0, 10_000.0)
+    ks = (2, 5, 10, 50, 100)
+    return {
+        (lam, k): (
+            cloud_peak_capacity(lam),
+            edge_peak_capacity(lam, k),
+            provisioning_penalty(lam, k),
+        )
+        for lam in lams
+        for k in ks
+    }
+
+
+def test_capacity_provisioning(run_once):
+    table = run_once(compute_capacity_table)
+    print("\nSection 5.2 — two-sigma peak capacity (server-equivalents)")
+    print(f"{'lambda':>8} {'k':>4} {'C_cloud':>10} {'C_edge':>10} {'penalty':>8}")
+    for (lam, k), (c, e, p) in sorted(table.items()):
+        print(f"{lam:>8.0f} {k:>4} {c:>10.1f} {e:>10.1f} {p:>8.3f}")
+    for (lam, k), (c, e, p) in table.items():
+        assert e > c and p > 1.0
+    # Penalty grows with k at fixed lambda...
+    assert table[(100.0, 100)][2] > table[(100.0, 2)][2]
+    # ...and shrinks relatively with scale at fixed k.
+    assert table[(10_000.0, 10)][2] < table[(10.0, 10)][2]

@@ -1,0 +1,46 @@
+"""Extension E6 — sensitivity of the inversion cutoff to model knobs.
+
+How robust is the DESIGN.md §6 calibration?  Sweep each assumption —
+per-machine concurrency, service variability, fleet spread, cloud RTT —
+through the exact analytic solver and report the cutoff's movement.
+"""
+
+from repro.core.scenarios import TYPICAL_CLOUD
+from repro.experiments.sensitivity import (
+    cutoff_vs_cores,
+    cutoff_vs_delta_n,
+    cutoff_vs_service_cv2,
+    cutoff_vs_sites,
+)
+
+
+def run_sensitivity():
+    return {
+        "cores": cutoff_vs_cores(TYPICAL_CLOUD),
+        "service_cv2": cutoff_vs_service_cv2(TYPICAL_CLOUD),
+        "sites": cutoff_vs_sites(TYPICAL_CLOUD),
+        "cloud_rtt_ms": cutoff_vs_delta_n(TYPICAL_CLOUD),
+    }
+
+
+def test_extension_sensitivity(run_once):
+    res = run_once(run_sensitivity)
+    print("\nExtension E6 — analytic cutoff sensitivity (typical cloud)")
+    for param, rows in res.items():
+        series = "  ".join(f"{r.value:g}:{r.mean_cutoff:.2f}/{r.tail_cutoff:.2f}" for r in rows)
+        print(f"  {param:>12} (value:mean/tail): {series}")
+    cores = [r.mean_cutoff for r in res["cores"]]
+    cv2s = [r.mean_cutoff for r in res["service_cv2"]]
+    sites = [r.mean_cutoff for r in res["sites"]]
+    rtts = [r.mean_cutoff for r in res["cloud_rtt_ms"]]
+    assert cores == sorted(cores)                # more lanes -> later inversion
+    assert cv2s == sorted(cv2s, reverse=True)    # more variability -> earlier
+    assert sites == sorted(sites, reverse=True)  # more spread -> earlier
+    assert rtts == sorted(rtts)                  # farther cloud -> later
+    # Tail cutoff at or below the mean cutoff across the sweeps.  The
+    # two columns come from different approximations (Allen-Cunneen mean
+    # vs heavy-traffic exponential tail), so allow a small tolerance at
+    # the tiny-delta_n corner where both are near their validity edge.
+    for rows in res.values():
+        for r in rows:
+            assert r.tail_cutoff <= r.mean_cutoff + 0.05

@@ -1,0 +1,52 @@
+"""Extension E1 — the economic cost of avoiding inversion (paper's future work).
+
+Provision edge and cloud fleets to the *same* p95 end-to-end SLO and
+price them.  Expected shape: at loose SLOs (cloud feasible) the edge is
+strictly more expensive (pooling penalty × unit-price premium); at SLOs
+tighter than the cloud RTT, only the edge can play at any price.
+"""
+
+import pytest
+
+from repro.core.cost import CostModel, compare_slo_costs
+
+MU = 13.0
+RATE = 40.0
+SITES = 5
+EDGE_RTT, CLOUD_RTT = 0.001, 0.024
+
+
+def run_cost_sweep():
+    out = {}
+    for slo_ms in (600, 800, 1200):
+        edge, cloud = compare_slo_costs(
+            total_rate=RATE, service_rate=MU, sites=SITES,
+            edge_rtt=EDGE_RTT, cloud_rtt=CLOUD_RTT, latency_slo=slo_ms * 1e-3,
+            q=0.95, cost_model=CostModel(),
+        )
+        out[slo_ms] = (edge, cloud)
+    return out
+
+
+def test_extension_slo_cost(run_once):
+    res = run_once(run_cost_sweep)
+    print("\nExtension E1 — hourly cost to meet a p95 SLO (40 req/s, 5 sites)")
+    for slo_ms, (edge, cloud) in res.items():
+        ratio = edge.hourly_cost / cloud.hourly_cost
+        print(f"  SLO {slo_ms:5d} ms: {edge}; {cloud}; edge/cloud = {ratio:.2f}x")
+    for slo_ms, (edge, cloud) in res.items():
+        assert edge.hourly_cost > cloud.hourly_cost
+        assert edge.achieved_latency <= slo_ms * 1e-3
+        assert cloud.achieved_latency <= slo_ms * 1e-3
+    # Tighter SLOs widen the edge's cost disadvantage (less room to
+    # amortize its per-site floors).
+    assert (
+        res[600][0].hourly_cost / res[600][1].hourly_cost
+        >= res[1200][0].hourly_cost / res[1200][1].hourly_cost - 0.2
+    )
+    # Below the cloud RTT the cloud is infeasible at any cost.
+    with pytest.raises(ValueError, match="only an edge deployment"):
+        compare_slo_costs(
+            total_rate=RATE, service_rate=MU, sites=SITES,
+            edge_rtt=EDGE_RTT, cloud_rtt=0.080, latency_slo=0.075,
+        )

@@ -1,0 +1,51 @@
+"""Extension E2 — analytic tail cutoffs (lifting the paper's mean-only limit).
+
+The paper measures tail inversion empirically (Figure 5) because its
+analysis "only permit[s] a comparison of mean latencies".  Our exact
+M/M/c response distributions make the tail cutoff computable; this
+bench compares the analytic p95 cutoff with the simulated Figure 7 tail
+cutoffs at each cloud placement.
+"""
+
+from repro.core.comparator import EdgeCloudComparator
+from repro.core.scenarios import PAPER_SCENARIOS
+from repro.core.tail import cutoff_utilization_tail
+
+import numpy as np
+
+
+def run_tail_prediction(requests_per_site):
+    out = {}
+    for i, scenario in enumerate(PAPER_SCENARIOS):
+        predicted = cutoff_utilization_tail(
+            scenario.delta_n,
+            scenario.service.core_service_rate,
+            scenario.edge_servers_per_site,
+            scenario.cloud_servers,
+            q=0.95,
+        )
+        cmp_ = EdgeCloudComparator(
+            scenario, requests_per_site=requests_per_site, seed=61 + i
+        )
+        _, measured = cmp_.find_crossover(
+            "p95", utilizations=np.arange(0.2, 0.95, 0.06)
+        )
+        out[scenario.cloud_rtt_ms] = (predicted, measured)
+    return out
+
+
+def test_extension_tail_analytic(run_once, cfg):
+    res = run_once(run_tail_prediction, cfg.requests_per_site)
+    print("\nExtension E2 — analytic vs simulated p95 inversion cutoff (k=5)")
+    print(f"{'RTT(ms)':>8} {'analytic':>9} {'simulated':>10}")
+    for rtt, (pred, meas) in res.items():
+        m = "none" if meas is None else f"{meas:.2f}"
+        print(f"{rtt:>8.0f} {pred:>9.2f} {m:>10}")
+    for rtt, (pred, meas) in res.items():
+        assert meas is not None
+        # Analytic tail cutoff tracks the simulated one. (The analytic
+        # model is exact for M/M/c; our service is Erlang, so allow a
+        # modest tolerance.)
+        assert abs(pred - meas) < 0.15
+    preds = [res[r][0] for r in sorted(res)]
+    assert all(np.diff(preds) > 0)  # farther cloud -> higher tail cutoff

@@ -1,0 +1,12 @@
+"""Figure 2 — spatial load skew across edge cells (taxi-trace stand-in)."""
+
+from repro.experiments.figures import fig2_spatial_skew
+from repro.experiments.report import render_fig2
+
+
+def test_fig2_spatial_skew(run_once, cfg):
+    res = run_once(fig2_spatial_skew, cfg)
+    print("\n" + render_fig2(res))
+    # Paper: per-cell load is heavily skewed, with outlier cells.
+    assert res.skew["max_over_mean"] > 2.0
+    assert res.skew["cell_cv"] > 0.5

@@ -1,0 +1,15 @@
+"""Figure 3 — mean latency, 1 ms edge vs typical (~24 ms) cloud.
+
+Paper: crossover at 8 req/s/server for k=5 and ~11 req/s for k=10.
+"""
+
+from repro.experiments.figures import fig3_mean_typical
+from repro.experiments.report import render_sweep_figure
+
+
+def test_fig3_mean_typical(run_once, cfg):
+    fig = run_once(fig3_mean_typical, cfg)
+    print("\n" + render_sweep_figure(fig))
+    xs = fig.crossovers()
+    assert xs["k5"] is not None and abs(xs["k5"] - 8.0) < 1.5
+    assert xs["k10"] is not None and xs["k10"] > xs["k5"]

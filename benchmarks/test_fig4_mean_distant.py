@@ -1,0 +1,15 @@
+"""Figure 4 — mean latency, 1 ms edge vs distant (~54 ms) cloud.
+
+Paper: inversion at 11 req/s for k=5; none below 12 req/s for k=10.
+"""
+
+from repro.experiments.figures import fig4_mean_distant
+from repro.experiments.report import render_sweep_figure
+
+
+def test_fig4_mean_distant(run_once, cfg):
+    fig = run_once(fig4_mean_distant, cfg)
+    print("\n" + render_sweep_figure(fig))
+    xs = fig.crossovers()
+    assert xs["k5"] is not None and 8.5 <= xs["k5"] <= 12.0
+    assert xs["k10"] is None or xs["k10"] > 9.5

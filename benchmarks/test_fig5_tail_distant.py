@@ -1,0 +1,18 @@
+"""Figure 5 — p95 latency for the distant-cloud setup.
+
+Paper: tail inversion at 8 req/s (k=5) / 11 req/s (k=10), well before
+the mean inverts.
+"""
+
+from repro.experiments.figures import fig4_mean_distant, fig5_tail_distant
+from repro.experiments.report import render_sweep_figure
+
+
+def test_fig5_tail_distant(run_once, cfg):
+    fig = run_once(fig5_tail_distant, cfg)
+    print("\n" + render_sweep_figure(fig))
+    tail = fig.crossovers()
+    mean = fig4_mean_distant(cfg).crossovers()
+    assert tail["k5"] is not None and abs(tail["k5"] - 8.0) < 2.0
+    # The headline tail insight: p95 inverts strictly before the mean.
+    assert tail["k5"] < mean["k5"]

@@ -1,0 +1,14 @@
+"""Figure 6 — latency distributions at 10 req/s (violin-plot summary).
+
+Paper: the edge distribution is more variable with a longer tail.
+"""
+
+from repro.experiments.figures import fig6_distribution
+from repro.experiments.report import render_fig6
+
+
+def test_fig6_distribution(run_once, cfg):
+    res = run_once(fig6_distribution, cfg)
+    print("\n" + render_fig6(res))
+    assert res.edge.p99 > res.cloud.p99
+    assert res.edge.std > res.cloud.std

@@ -1,0 +1,23 @@
+"""Figure 7 — cutoff utilization vs cloud location.
+
+Paper: 15 ms cloud → mean cutoff ~40%, tail ~25%; 25-30 ms → 60%/40%;
+80 ms → mean near saturation, tail ~75%.  Closer clouds invert earlier.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig7_cutoff_utilizations
+from repro.experiments.report import render_fig7
+
+
+def test_fig7_cutoff_utilization(run_once, cfg):
+    res = run_once(fig7_cutoff_utilizations, cfg)
+    print("\n" + render_fig7(res))
+    measured = [m for m in res.mean_cutoff if m is not None]
+    # Monotone: cutoff rises with cloud RTT.
+    assert all(np.diff(measured) > -0.05)
+    assert measured[-1] - measured[0] > 0.1
+    # Tail cutoffs sit at or below mean cutoffs.
+    for m, t in zip(res.mean_cutoff, res.tail_cutoff):
+        if m is not None and t is not None:
+            assert t <= m + 0.03

@@ -1,0 +1,16 @@
+"""Figure 8 — per-site workload from the Azure-like serverless trace."""
+
+import numpy as np
+
+from repro.experiments.figures import fig8_azure_workload
+from repro.experiments.report import render_fig8
+
+
+def test_fig8_azure_workload(run_once, cfg):
+    res = run_once(fig8_azure_workload, cfg)
+    print("\n" + render_fig8(res))
+    assert len(res.site_rates) == 5
+    assert res.spatial_cv > 0.2  # spatial skew across sites
+    for rates in res.site_rates:  # temporal variation within a site
+        r = rates[~np.isnan(rates)]
+        assert r.max() > 1.3 * r.mean()

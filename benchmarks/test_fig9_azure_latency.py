@@ -1,0 +1,15 @@
+"""Figure 9 — mean edge vs cloud latency over time, Azure-like trace.
+
+Paper: edge sites frequently invert; the cloud's aggregate-smoothed
+series is much less variable.
+"""
+
+from repro.experiments.figures import fig9_azure_latency
+from repro.experiments.report import render_fig9
+
+
+def test_fig9_azure_latency(run_once, cfg):
+    res = run_once(fig9_azure_latency, cfg)
+    print("\n" + render_fig9(res))
+    assert res.inversion_fraction > 0.1
+    assert res.edge_variability > 1.5

@@ -1,0 +1,68 @@
+"""§4.2 calibration — "the system reaches 100% utilization at 13 req/s".
+
+The paper benchmarks its application to find the saturation knee before
+any comparison; this bench repeats that measurement on our application
+model: sweep the offered rate on one machine, watch latency hockey-stick
+and (with a bounded queue) drops begin exactly at the configured
+saturation rate.
+"""
+
+import numpy as np
+
+from repro.queueing.distributions import Exponential
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+from repro.sim.station import Station
+from repro.workload.service import DNNInferenceModel
+
+MODEL = DNNInferenceModel()  # 13 req/s, 8 lanes
+DURATION = 600.0
+
+
+def _one_rate(rate, seed):
+    sim = Simulation(seed)
+    latencies = []
+    st = Station(
+        sim,
+        MODEL.cores,
+        MODEL.service_dist(),
+        on_departure=lambda r: latencies.append(r.server_time),
+        queue_capacity=100,
+    )
+    rng = sim.spawn_rng()
+
+    def gen(i=[0]):
+        if sim.now < DURATION:
+            st.arrive(Request(i[0], created=sim.now))
+            i[0] += 1
+            sim.schedule(rng.exponential(1.0 / rate), gen)
+
+    sim.schedule(0.0, gen)
+    sim.run(until=DURATION)
+    return float(np.mean(latencies)), st.loss_rate, st.utilization()
+
+
+def run_saturation_sweep():
+    return {
+        rate: _one_rate(rate, seed=131 + i)
+        for i, rate in enumerate((6.0, 9.0, 12.0, 13.0, 14.0, 16.0))
+    }
+
+
+def test_saturation_calibration(run_once):
+    res = run_once(run_saturation_sweep)
+    print("\n§4.2 calibration — one machine, offered rate sweep")
+    print(f"{'req/s':>6} {'mean lat (ms)':>14} {'loss':>6} {'util':>6}")
+    for rate, (lat, loss, util) in res.items():
+        print(f"{rate:>6.0f} {lat * 1e3:>14.1f} {loss:>6.1%} {util:>6.2f}")
+    # Below saturation: negligible loss, utilization tracks rate/13.
+    assert res[9.0][1] < 0.01
+    assert res[9.0][2] == np.float64(res[9.0][2])  # defined
+    assert abs(res[9.0][2] - 9.0 / 13.0) < 0.05
+    # At 12 req/s (the paper's max practical rate): still essentially lossless.
+    assert res[12.0][1] < 0.05
+    # Past 13 req/s: drops appear and utilization pins near 1.
+    assert res[16.0][1] > 0.1
+    assert res[16.0][2] > 0.95
+    # Latency knees upward across saturation.
+    assert res[14.0][0] > 2 * res[9.0][0]

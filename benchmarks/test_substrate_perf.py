@@ -1,0 +1,67 @@
+"""Substrate microbenchmarks: simulator throughput and model evaluation.
+
+Not figures from the paper — these track the performance of the two
+simulation paths and the analytic solvers so regressions in the hot
+paths are caught (pytest-benchmark keeps history with --benchmark-save).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inversion import cutoff_utilization_exact
+from repro.queueing.distributions import Exponential
+from repro.queueing.mmk import MMk
+from repro.sim.fastsim import simulate_fcfs_queue
+from repro.sim.network import ConstantLatency
+from repro.sim.runner import run_deployment
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def poisson_workload():
+    rng = np.random.default_rng(0)
+    return np.cumsum(rng.exponential(1.0 / 40.0, N)), rng.exponential(1.0 / 13.0, N)
+
+
+def test_fastsim_gg1_throughput(benchmark, poisson_workload):
+    a, s = poisson_workload
+    waits = benchmark(simulate_fcfs_queue, a, s, 1)
+    assert waits.size == N
+
+
+def test_fastsim_ggc_throughput(benchmark, poisson_workload):
+    a, s = poisson_workload
+    waits = benchmark(simulate_fcfs_queue, a, s, 5)
+    assert waits.size == N
+
+
+def test_event_engine_throughput(benchmark):
+    def run():
+        return run_deployment(
+            "cloud",
+            sites=5,
+            servers_per_site=1,
+            rate_per_site=8.0,
+            service_dist=Exponential(1.0 / 13.0),
+            latency=ConstantLatency.from_ms(25.0),
+            duration=300.0,
+            seed=3,
+        )
+
+    bd = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(bd) > 5000
+
+
+def test_mmk_model_evaluation(benchmark):
+    def solve():
+        return MMk(40.0, 13.0, 5).response_time_percentile(0.95)
+
+    assert benchmark(solve) > 0
+
+
+def test_cutoff_solver(benchmark):
+    rho = benchmark(
+        cutoff_utilization_exact, 0.023, 13.0 / 8.0, 8, 40
+    )
+    assert 0.0 < rho < 1.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning for a skewed edge fleet (Section 5 of the paper).
+
+Given per-site demand with spatial skew, this example:
+
+1. quantifies the provider-side two-sigma capacity penalty of the edge
+   (C_edge = λ + 2√(kλ) vs C_cloud = λ + 2√λ);
+2. computes inversion-free per-site server floors (Equation 22);
+3. rebalances a fixed server budget proportionally to load and shows
+   the utilization flattening the paper prescribes for skewed demand.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core.capacity import (
+    cloud_peak_capacity,
+    edge_peak_capacity,
+    provisioning_penalty,
+)
+from repro.core.inversion import calibrate_time_unit
+from repro.mitigation.provisioning import plan_capacity, rebalance_to_budget
+
+MU = 13.0  # per-server service rate (req/s), the paper's saturation rate
+SITE_RATES = [18.0, 9.0, 6.0, 4.0, 3.0]  # skewed demand across 5 sites
+DELTA_N = 0.030  # 30 ms RTT advantage (typical-cloud setup)
+
+
+def main() -> None:
+    total = sum(SITE_RATES)
+    k = len(SITE_RATES)
+
+    print("=== Provider view: the two-sigma capacity penalty (§5.2) ===")
+    print(f"aggregate demand: {total:.0f} req/s across {k} sites")
+    print(f"  C_cloud = {cloud_peak_capacity(total):6.1f} req/s-equivalents")
+    print(f"  C_edge  = {edge_peak_capacity(total, k):6.1f} req/s-equivalents")
+    print(f"  penalty = {provisioning_penalty(total, k):.2f}x\n")
+
+    print("=== Application view: inversion-free per-site floors (Eq 22) ===")
+    # Calibrate the formula's time unit from the paper's own anchor
+    # (rho* = 0.64 at delta_n = 30 ms, k = 5).
+    unit = calibrate_time_unit(DELTA_N, 5, 0.64)
+    plan = plan_capacity(
+        SITE_RATES, MU, delta_n=DELTA_N, cloud_servers=k, time_unit=unit
+    )
+    print(f"{'site':>5} {'req/s':>7} {'servers':>8} {'rho':>6}")
+    for i, (r, s, u) in enumerate(zip(plan.site_rates, plan.servers, plan.utilizations)):
+        print(f"{i:>5} {r:>7.1f} {s:>8} {u:>6.2f}")
+    print(f"total fleet: {plan.total_servers} servers (cloud needs {k})")
+    print(f"stable: {plan.is_stable()}, hottest site rho = {plan.max_utilization:.2f}\n")
+
+    print("=== Fixed budget: proportional rebalancing (Lemma 3.3) ===")
+    budget = plan.total_servers
+    rebalanced = rebalance_to_budget(SITE_RATES, budget, MU)
+    print(f"{'site':>5} {'req/s':>7} {'servers':>8} {'rho':>6}")
+    for i, (r, s, u) in enumerate(
+        zip(rebalanced.site_rates, rebalanced.servers, rebalanced.utilizations)
+    ):
+        print(f"{i:>5} {r:>7.1f} {s:>8} {u:>6.2f}")
+    spread = max(rebalanced.utilizations) - min(
+        u for u, r in zip(rebalanced.utilizations, rebalanced.site_rates) if r > 0
+    )
+    print(f"utilization spread after rebalancing: {spread:.2f}")
+    print(
+        "\nTakeaway: proportional capacity equalizes per-site utilization, "
+        "reducing Lemma 3.3's skewed bound to the balanced Lemma 3.1 — but "
+        "the inversion condition itself remains; only more capacity or "
+        "geographic load balancing removes it."
+    )
+
+
+if __name__ == "__main__":
+    main()

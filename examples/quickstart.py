@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: will your edge deployment beat the cloud?
+
+Reproduces the paper's core result in ~20 lines of API: pick a
+scenario (edge RTT, cloud RTT, fleet shape, application model), get the
+analytic inversion cutoff, then verify it by simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EdgeCloudComparator, TYPICAL_CLOUD
+from repro.experiments.report import render_sweep
+
+
+def main() -> None:
+    scenario = TYPICAL_CLOUD  # 1 ms edge vs ~24 ms cloud, 5 sites
+    print(f"Scenario: {scenario.name}")
+    print(f"  edge RTT {scenario.edge_rtt_ms} ms, cloud RTT {scenario.cloud_rtt_ms} ms")
+    print(
+        f"  {scenario.sites} edge sites x {scenario.machines_per_site} machine(s); "
+        f"cloud pools {scenario.cloud_machines} machines"
+    )
+    print(
+        f"  application saturates one machine at "
+        f"{scenario.service.saturation_rate:.0f} req/s\n"
+    )
+
+    comparator = EdgeCloudComparator(scenario, requests_per_site=50_000, seed=1)
+
+    # 1. Analytic prediction (Section 3 of the paper).
+    rho_star = comparator.predict_cutoff_utilization()
+    print(f"Analytic cutoff utilization: {rho_star:.2f}")
+    print(
+        f"  -> below {rho_star:.0%} utilization the edge wins; above it, "
+        "queueing at the edge outweighs its network advantage.\n"
+    )
+
+    # 2. Simulated verification (Section 4): sweep 6..12 req/s per server.
+    result = comparator.sweep([6, 7, 8, 9, 10, 11, 12])
+    print(render_sweep(result, "mean"))
+    measured = result.crossover_utilization("mean")
+    print(f"\nmeasured cutoff utilization: {measured:.2f}" if measured else "")
+
+    # 3. The tail inverts even earlier (the paper's Figure 5 insight).
+    tail_rate = result.crossover_rate("p95")
+    mean_rate = result.crossover_rate("mean")
+    if tail_rate is not None and mean_rate is not None:
+        print(
+            f"p95 inversion at {tail_rate:.1f} req/s vs mean at {mean_rate:.1f} req/s "
+            "— plan capacity against the tail, not the mean."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Audit a workload trace: is it safe to deploy at the edge?
+
+The end-to-end operator workflow the paper's design-implications
+section sketches, fully automated:
+
+1. characterize the trace (rate, burstiness c², dispersion, skew);
+2. plug the estimates into the generalized inversion bound (Lemma 3.2)
+   and the exact cutoff solver;
+3. report the verdict per candidate cloud location, with the capacity
+   needed to make the edge safe when it is not.
+
+Run:  python examples/workload_audit.py
+"""
+
+import numpy as np
+
+from repro.core.inversion import cutoff_utilization_exact
+from repro.core.capacity import min_edge_servers
+from repro.core.inversion import calibrate_time_unit
+from repro.workload.azure import AzureTraceConfig, generate_azure_workload, group_functions_into_sites
+from repro.workload.characterize import characterize, spatial_skew_profile
+from repro.workload.trace import RequestTrace
+
+MU = 13.0  # per-server service rate (req/s)
+SITES = 5
+CLOUD_RTTS_MS = (15.0, 24.0, 54.0)
+EDGE_RTT_MS = 1.0
+
+
+def main() -> None:
+    # A bursty, skewed serverless-style workload (stand-in for the
+    # operator's own trace — load yours with repro.workload.io).
+    rng = np.random.default_rng(13)
+    functions = generate_azure_workload(
+        AzureTraceConfig(n_functions=30, duration=3 * 3600.0, total_rate=35.0), rng
+    )
+    site_traces = group_functions_into_sites(functions, SITES, rng)
+    merged = RequestTrace.merge(site_traces)
+
+    # -- Step 1: characterize -------------------------------------------
+    profile = characterize(merged, window=60.0)
+    skew = spatial_skew_profile(site_traces)
+    print("Workload profile:")
+    print(f"  {profile.requests} requests over {profile.duration / 3600:.1f} h, "
+          f"mean {profile.mean_rate:.1f} req/s")
+    print(f"  inter-arrival c^2 = {profile.interarrival_cv2:.2f}, "
+          f"dispersion = {profile.dispersion:.1f}, "
+          f"peak/mean = {profile.peak_to_mean:.1f}")
+    print(f"  spatial skew: site CoV = {skew['site_cv']:.2f}, "
+          f"hottest site {skew['max_over_mean']:.1f}x the mean, "
+          f"skew wait factor = {skew['skew_wait_factor']:.2f}")
+    poisson_ok = profile.suggests_poisson()
+    print(f"  Poisson assumption defensible: {poisson_ok}\n")
+
+    # -- Step 2: cutoff per cloud location --------------------------------
+    rho_op = profile.mean_rate / (SITES * MU)  # balanced per-site utilization
+    ca2 = max(1.0, profile.interarrival_cv2)
+    print(f"Operating utilization (balanced across {SITES} sites): {rho_op:.2f}")
+    print(f"{'cloud RTT':>10} {'cutoff rho*':>12}  verdict")
+    for rtt in CLOUD_RTTS_MS:
+        delta_n = (rtt - EDGE_RTT_MS) * 1e-3
+        cutoff = cutoff_utilization_exact(delta_n, MU, 1, SITES, ca2=ca2, cs2=0.25)
+        verdict = "edge SAFE" if rho_op < cutoff else "INVERSION RISK"
+        print(f"{rtt:>8.0f}ms {cutoff:>12.2f}  {verdict}")
+
+    # -- Step 3: capacity to make the edge safe --------------------------
+    print("\nPer-site servers needed to avoid inversion (Eq 22, hottest site):")
+    unit = calibrate_time_unit(0.030, 5, 0.64)  # paper-anchored formula unit
+    hottest_rate = max(t.mean_rate for t in site_traces)
+    for rtt in CLOUD_RTTS_MS:
+        k_i = min_edge_servers(
+            (rtt - EDGE_RTT_MS) * 1e-3, hottest_rate, MU, SITES,
+            profile.mean_rate, time_unit=unit,
+        )
+        print(f"  {rtt:>5.0f} ms cloud: >= {k_i} server(s) at the hottest site "
+              f"({hottest_rate:.1f} req/s)")
+
+
+if __name__ == "__main__":
+    main()

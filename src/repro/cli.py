@@ -1,0 +1,217 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro list                   # what can I run?
+    python -m repro fig3                   # regenerate Figure 3
+    python -m repro fig7 --full            # publication-sized run
+    python -m repro validation             # the §4.2 table
+    python -m repro cutoff --cloud-rtt 24  # quick analytic cutoff query
+    python -m repro sensitivity            # cutoff sensitivity sweeps
+    python -m repro dump --outdir results  # persist all figures as JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import figures as F
+from repro.experiments import report as R
+from repro.experiments.config import FAST, FULL, ExperimentConfig
+from repro.experiments.validation import paper_formula_consistency, validation_table
+
+__all__ = ["main"]
+
+
+def _run_validation(cfg: ExperimentConfig) -> str:
+    out = R.render_validation(validation_table(cfg))
+    consistency = paper_formula_consistency()
+    return out + f"\npaper formula unit consistency: {consistency}"
+
+
+# name -> (runner(cfg) -> str, description)
+EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
+    "fig2": (
+        lambda cfg: R.render_fig2(F.fig2_spatial_skew(cfg)),
+        "spatial load skew across edge cells (taxi stand-in)",
+    ),
+    "fig3": (
+        lambda cfg: R.render_sweep_figure(F.fig3_mean_typical(cfg)),
+        "mean latency, edge vs typical cloud (24 ms)",
+    ),
+    "fig4": (
+        lambda cfg: R.render_sweep_figure(F.fig4_mean_distant(cfg)),
+        "mean latency, edge vs distant cloud (54 ms)",
+    ),
+    "fig5": (
+        lambda cfg: R.render_sweep_figure(F.fig5_tail_distant(cfg)),
+        "p95 latency, edge vs distant cloud",
+    ),
+    "fig6": (
+        lambda cfg: R.render_fig6(F.fig6_distribution(cfg)),
+        "latency distributions at 10 req/s",
+    ),
+    "fig7": (
+        lambda cfg: R.render_fig7(F.fig7_cutoff_utilizations(cfg)),
+        "cutoff utilization vs cloud location",
+    ),
+    "fig8": (
+        lambda cfg: R.render_fig8(F.fig8_azure_workload(cfg)),
+        "per-site workload under the Azure-like trace",
+    ),
+    "fig9": (
+        lambda cfg: R.render_fig9(F.fig9_azure_latency(cfg)),
+        "edge vs cloud latency over time (Azure-like trace)",
+    ),
+    "fig10": (
+        lambda cfg: R.render_fig10(F.fig10_azure_per_site(cfg)),
+        "per-site latency box plot (Azure-like trace)",
+    ),
+    "validation": (_run_validation, "the §4.2 analytic-vs-measured table"),
+}
+
+
+def _cmd_list() -> int:
+    print("available experiments:")
+    width = max(len(n) for n in EXPERIMENTS)
+    for name, (_, desc) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {desc}")
+    print("\nother commands: cutoff (analytic query), sensitivity, dump, list")
+    return 0
+
+
+def _cmd_sensitivity() -> int:
+    from repro.core.scenarios import TYPICAL_CLOUD
+    from repro.experiments.sensitivity import (
+        cutoff_vs_cores,
+        cutoff_vs_delta_n,
+        cutoff_vs_service_cv2,
+        cutoff_vs_sites,
+    )
+
+    sweeps = {
+        "cores": cutoff_vs_cores(TYPICAL_CLOUD),
+        "service cv^2": cutoff_vs_service_cv2(TYPICAL_CLOUD),
+        "sites (k)": cutoff_vs_sites(TYPICAL_CLOUD),
+        "cloud RTT (ms)": cutoff_vs_delta_n(TYPICAL_CLOUD),
+    }
+    print("analytic inversion-cutoff sensitivity (typical-cloud scenario)")
+    for label, rows in sweeps.items():
+        print(f"\n{label}:")
+        print(f"  {'value':>8} {'mean cutoff':>12} {'p95 cutoff':>11}")
+        for r in rows:
+            print(f"  {r.value:>8g} {r.mean_cutoff:>12.2f} {r.tail_cutoff:>11.2f}")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
+    from repro.experiments.persist import dump_all_figures
+
+    only = args.figures.split(",") if args.figures else None
+    written = dump_all_figures(cfg, args.outdir, only=only)
+    for name, path in written.items():
+        print(f"wrote {name} -> {path}")
+    return 0
+
+
+def _cmd_cutoff(args: argparse.Namespace) -> int:
+    from repro.core.comparator import EdgeCloudComparator
+    from repro.core.scenarios import Scenario
+    from repro.core.tail import cutoff_utilization_tail
+
+    scenario = Scenario(
+        name=f"cli ({args.cloud_rtt} ms cloud)",
+        cloud_rtt_ms=args.cloud_rtt,
+        edge_rtt_ms=args.edge_rtt,
+        sites=args.sites,
+        machines_per_site=args.machines,
+    )
+    cmp_ = EdgeCloudComparator(scenario)
+    mean_cut = cmp_.predict_cutoff_utilization()
+    tail_cut = cutoff_utilization_tail(
+        scenario.delta_n,
+        scenario.service.core_service_rate,
+        scenario.edge_servers_per_site,
+        scenario.cloud_servers,
+        q=0.95,
+    )
+    print(f"scenario: {scenario.name}, k={scenario.cloud_machines} machines")
+    print(f"analytic mean-latency cutoff utilization: {mean_cut:.2f}")
+    print(f"analytic p95-latency  cutoff utilization: {tail_cut:.2f}")
+    print(
+        f"-> keep per-site utilization below {min(mean_cut, tail_cut):.0%} "
+        "to avoid any inversion"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from 'The Hidden Cost of the Edge' (SC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    for name, (_, desc) in EXPERIMENTS.items():
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--full", action="store_true", help="publication-sized run")
+        p.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("sensitivity", help="analytic cutoff sensitivity sweeps")
+    rep = sub.add_parser("report", help="full evaluation as one markdown report")
+    rep.add_argument("--out", default=None, help="write to a file instead of stdout")
+    rep.add_argument("--only", default=None, help="comma-separated section filters")
+    rep.add_argument("--full", action="store_true", help="publication-sized run")
+    dump = sub.add_parser("dump", help="persist figure results as JSON")
+    dump.add_argument("--outdir", default="results", help="output directory")
+    dump.add_argument("--figures", default=None, help="comma-separated subset")
+    dump.add_argument("--full", action="store_true", help="publication-sized run")
+    cut = sub.add_parser("cutoff", help="analytic inversion-cutoff query")
+    cut.add_argument("--cloud-rtt", type=float, required=True, help="cloud RTT in ms")
+    cut.add_argument("--edge-rtt", type=float, default=1.0, help="edge RTT in ms")
+    cut.add_argument("--sites", type=int, default=5, help="number of edge sites")
+    cut.add_argument("--machines", type=int, default=1, help="machines per site")
+
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "sensitivity":
+        return _cmd_sensitivity()
+    if args.command == "cutoff":
+        return _cmd_cutoff(args)
+    if args.command == "dump":
+        return _cmd_dump(args, FULL if args.full else FAST)
+    if args.command == "report":
+        from repro.experiments.paper_report import generate_report
+
+        only = args.only.split(",") if args.only else None
+        text = generate_report(FULL if args.full else FAST, only=only)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote report to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    runner, _ = EXPERIMENTS[args.command]
+    cfg = FULL if args.full else FAST
+    if args.seed is not None:
+        cfg = ExperimentConfig(
+            requests_per_site=cfg.requests_per_site,
+            azure_duration=cfg.azure_duration,
+            azure_functions=cfg.azure_functions,
+            seed=args.seed,
+        )
+    print(runner(cfg))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Capacity planning (Section 5 of the paper).
+
+Implements the provider- and application-side provisioning math:
+
+* the **two-sigma peak rule** comparison
+  :math:`C_{cloud} = \\lambda + 2\\sqrt\\lambda` versus
+  :math:`C_{edge} = \\lambda + 2\\sqrt{k\\lambda}` (Section 5.2) — the
+  statistical-smoothing penalty of splitting one pool into k sites;
+* the **per-site server lower bound** from Equation 22: the smallest
+  :math:`k_i` at site i (receiving :math:`\\lambda_i`) for which the
+  inversion condition no longer holds;
+* skew-aware provisioning helpers used by
+  :mod:`repro.mitigation.provisioning`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.inversion import delta_n_threshold_mm
+
+__all__ = [
+    "cloud_peak_capacity",
+    "edge_peak_capacity",
+    "provisioning_penalty",
+    "min_edge_servers",
+    "proportional_allocation",
+    "square_root_staffing",
+]
+
+
+def cloud_peak_capacity(lam: float) -> float:
+    """Two-sigma peak capacity of a centralized cloud: :math:`\\lambda + 2\\sqrt\\lambda`.
+
+    For Poisson arrivals the workload's standard deviation is
+    :math:`\\sqrt\\lambda`, so this approximates the 95th percentile of
+    demand (in units of server-equivalent request rate).
+    """
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+    return lam + 2.0 * math.sqrt(lam)
+
+
+def edge_peak_capacity(lam: float, k: int) -> float:
+    """Aggregate two-sigma capacity of k balanced edge sites.
+
+    Each site provisions for its own peak
+    :math:`\\lambda/k + 2\\sqrt{\\lambda/k}`; summing over k sites gives
+    :math:`\\lambda + 2\\sqrt{k\\lambda}` — strictly more than the cloud
+    for k > 1 (no cross-site statistical smoothing).
+    """
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return lam + 2.0 * math.sqrt(k * lam)
+
+
+def provisioning_penalty(lam: float, k: int) -> float:
+    """Extra capacity the edge needs versus the cloud, as a ratio ≥ 1.
+
+    :math:`C_{edge}/C_{cloud}`; the paper's Section 5.2 argues this is
+    why serving N customers at the edge costs providers more.
+    """
+    cloud = cloud_peak_capacity(lam)
+    if cloud == 0.0:
+        return 1.0
+    return edge_peak_capacity(lam, k) / cloud
+
+
+def square_root_staffing(lam: float, mu: float, beta: float = 1.0) -> int:
+    """Halfin–Whitt square-root staffing: :math:`c = \\lceil a + \\beta\\sqrt{a} \\rceil`.
+
+    With offered load :math:`a = \\lambda/\\mu`, staffing
+    :math:`\\beta\\sqrt a` servers above the load keeps the probability
+    of waiting roughly constant as the system scales — the rigorous
+    version of the paper's two-sigma rule (β = 2 recovers it for
+    per-second capacity).  This is why the cloud's pooled capacity is
+    so efficient: the same β buys k pooled sites the service quality
+    that k separate sites each need their own :math:`\\beta\\sqrt{a/k}`
+    for, totalling :math:`\\beta\\sqrt{ka}`.
+
+    Parameters
+    ----------
+    lam / mu:
+        Arrival and per-server service rates (req/s).
+    beta:
+        Quality-of-service parameter (≥ 0); higher = less waiting.
+    """
+    if lam < 0 or mu <= 0:
+        raise ValueError("need lam >= 0 and mu > 0")
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    a = lam / mu
+    if a == 0.0:
+        return 1
+    return max(1, math.ceil(a + beta * math.sqrt(a)))
+
+
+def min_edge_servers(
+    delta_n: float,
+    lam_i: float,
+    mu: float,
+    k: int,
+    lam: float,
+    *,
+    time_unit: float = 1.0,
+    max_servers: int = 10_000,
+) -> int:
+    """Equation 22: smallest server count at a site to avoid inversion.
+
+    Finds the smallest :math:`k_i` such that
+
+    .. math::
+       \\Delta n \\ge \\sqrt2\\left(
+           \\frac{1}{\\sqrt{k_i}(1 - \\lambda_i/(\\mu k_i))}
+         - \\frac{1}{\\sqrt{k}(1 - \\lambda/(\\mu k))}\\right)
+
+    Parameters
+    ----------
+    delta_n:
+        RTT advantage of the edge, in the same units ``time_unit``
+        converts to.
+    lam_i:
+        Request rate arriving at this site (req/s).
+    mu:
+        Per-server service rate (req/s).
+    k / lam:
+        Cloud pool size and the aggregate rate it would serve.
+    time_unit:
+        Seconds per formula unit (see :mod:`repro.core.inversion`).
+    max_servers:
+        Search cap; a :class:`RuntimeError` past it indicates
+        inconsistent inputs.
+
+    Notes
+    -----
+    The search starts at the stability floor
+    :math:`k_i > \\lambda_i/\\mu` and increases; the threshold is
+    monotonically decreasing in :math:`k_i` (more local pooling → less
+    extra wait), so the first satisfying value is minimal.
+    """
+    if delta_n <= 0:
+        raise ValueError(f"delta_n must be > 0, got {delta_n}")
+    if lam_i < 0 or lam <= 0 or mu <= 0:
+        raise ValueError("rates must be positive (lam_i may be 0)")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rho_cloud = lam / (k * mu)
+    if rho_cloud >= 1.0:
+        raise ValueError(f"cloud itself is unstable (rho={rho_cloud:.3f})")
+    if lam_i == 0.0:
+        return 1
+    k_i = max(1, math.floor(lam_i / mu) + 1)
+    while k_i <= max_servers:
+        rho_i = lam_i / (k_i * mu)
+        if rho_i < 1.0:
+            threshold = delta_n_threshold_mm(
+                rho_i, rho_cloud, k, edge_servers=k_i, time_unit=time_unit
+            )
+            if delta_n >= threshold:
+                return k_i
+        k_i += 1
+    raise RuntimeError(
+        f"no k_i <= {max_servers} avoids inversion (delta_n={delta_n}, lam_i={lam_i})"
+    )
+
+
+def proportional_allocation(weights: Sequence[float], total_servers: int) -> list[int]:
+    """Allocate ``total_servers`` across sites proportionally to load.
+
+    The paper's skew prescription (after Lemma 3.3): capacity at each
+    site proportional to the workload it sees.  Uses largest-remainder
+    rounding and guarantees every site with positive weight gets ≥ 1
+    server (a site with load but no server would be unstable).
+    """
+    w = [float(x) for x in weights]
+    if not w or any(x < 0 for x in w) or sum(w) <= 0:
+        raise ValueError(f"weights must be non-negative with positive sum, got {w}")
+    positive = sum(1 for x in w if x > 0)
+    if total_servers < positive:
+        raise ValueError(
+            f"need at least {positive} servers for {positive} loaded sites, got {total_servers}"
+        )
+    total_w = sum(w)
+    ideal = [total_servers * x / total_w for x in w]
+    alloc = [max(1, math.floor(v)) if w[i] > 0 else 0 for i, v in enumerate(ideal)]
+    # Largest-remainder distribution of the leftovers (or trim overshoot).
+    while sum(alloc) < total_servers:
+        remainders = [(ideal[i] - alloc[i], i) for i in range(len(w)) if w[i] > 0]
+        alloc[max(remainders)[1]] += 1
+    while sum(alloc) > total_servers:
+        surplus = [(alloc[i] - ideal[i], i) for i in range(len(w)) if alloc[i] > 1]
+        if not surplus:
+            raise ValueError("cannot honor one-server floor within total_servers")
+        alloc[max(surplus)[1]] -= 1
+    return alloc

@@ -1,0 +1,210 @@
+"""High-level edge-vs-cloud comparison API.
+
+:class:`EdgeCloudComparator` is the one-stop interface the paper's
+research questions map onto: given a :class:`~repro.core.scenarios.Scenario`
+it *predicts* the inversion cutoff analytically (Section 3) and
+*measures* it by simulation (Section 4), for both mean and tail (p95)
+latency.
+
+The measurement path uses the vectorized
+:mod:`repro.sim.fastsim` (cross-validated against the full DES engine in
+the integration tests) so a full Figure 7-style sweep runs in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inversion import cutoff_utilization_exact
+from repro.core.scenarios import Scenario
+from repro.queueing.distributions import fit_two_moments
+from repro.sim.fastsim import simulate_edge_system, simulate_single_queue_system
+from repro.stats.summary import LatencySummary, summarize
+from repro.workload.trace import RequestTrace
+
+__all__ = ["SweepPoint", "ComparisonResult", "EdgeCloudComparator"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Edge and cloud latency summaries at one per-site request rate."""
+
+    rate_per_site: float
+    utilization: float
+    edge: LatencySummary
+    cloud: LatencySummary
+
+    def gap(self, metric: str = "mean") -> float:
+        """Edge minus cloud for ``metric`` (positive = edge is worse)."""
+        return getattr(self.edge, metric) - getattr(self.cloud, metric)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """A rate sweep of one scenario (a Figure 3/4/5-style series)."""
+
+    scenario: Scenario
+    points: tuple[SweepPoint, ...]
+
+    def series(self, metric: str = "mean"):
+        """Return ``(rates, edge_values, cloud_values)`` arrays for plotting."""
+        rates = np.array([p.rate_per_site for p in self.points])
+        edge = np.array([getattr(p.edge, metric) for p in self.points])
+        cloud = np.array([getattr(p.cloud, metric) for p in self.points])
+        return rates, edge, cloud
+
+    def crossover_rate(self, metric: str = "mean") -> float | None:
+        """Per-site rate where the edge first becomes worse than the cloud.
+
+        Linearly interpolates between the bracketing sweep points;
+        ``None`` if no inversion occurs in the swept range.  A sweep that
+        *starts* inverted returns its first rate.
+        """
+        gaps = [p.gap(metric) for p in self.points]
+        if gaps[0] > 0:
+            return self.points[0].rate_per_site
+        for i in range(1, len(gaps)):
+            if gaps[i] > 0:
+                r0, r1 = self.points[i - 1].rate_per_site, self.points[i].rate_per_site
+                g0, g1 = gaps[i - 1], gaps[i]
+                return r0 + (r1 - r0) * (-g0) / (g1 - g0)
+        return None
+
+    def crossover_utilization(self, metric: str = "mean") -> float | None:
+        """Utilization at the crossover rate (the paper's cutoff ρ)."""
+        rate = self.crossover_rate(metric)
+        if rate is None:
+            return None
+        return self.scenario.utilization(rate)
+
+
+class EdgeCloudComparator:
+    """Analytic + simulated comparison of one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        The deployment pair to compare.
+    requests_per_site:
+        Simulated requests per edge site per sweep point (the cloud sees
+        ``sites ×`` this).  10⁵ gives stable p95s.
+    arrival_cv2:
+        Squared CoV of inter-arrival gaps (1 = Poisson).
+    seed:
+        Base RNG seed; each sweep point derives independent streams.
+    warmup_fraction:
+        Leading fraction of requests dropped before summarizing.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        *,
+        requests_per_site: int = 100_000,
+        arrival_cv2: float = 1.0,
+        seed: int = 0,
+        warmup_fraction: float = 0.1,
+    ):
+        if requests_per_site < 100:
+            raise ValueError(f"requests_per_site too small: {requests_per_site}")
+        if arrival_cv2 < 0:
+            raise ValueError(f"arrival_cv2 must be >= 0, got {arrival_cv2}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+        self.scenario = scenario
+        self.requests_per_site = int(requests_per_site)
+        self.arrival_cv2 = float(arrival_cv2)
+        self.seed = int(seed)
+        self.warmup_fraction = float(warmup_fraction)
+
+    # -- analytic side ---------------------------------------------------
+    def predict_cutoff_utilization(self) -> float:
+        """Cutoff utilization from the unit-consistent analytic model.
+
+        Uses exact Erlang-C (or Allen–Cunneen for non-exponential
+        components) mean waits per :func:`cutoff_utilization_exact`,
+        with the scenario's per-core service rate and pool sizes.
+        """
+        s = self.scenario
+        return cutoff_utilization_exact(
+            s.delta_n,
+            s.service.core_service_rate,
+            s.edge_servers_per_site,
+            s.cloud_servers,
+            ca2=self.arrival_cv2,
+            cs2=s.service.cv2,
+        )
+
+    # -- measurement side --------------------------------------------------
+    def _site_workloads(self, rate: float, rng: np.random.Generator):
+        """Per-site arrival/service arrays for one sweep point."""
+        s = self.scenario
+        gap = fit_two_moments(1.0 / rate, self.arrival_cv2)
+        service = s.service_dist()
+        n = self.requests_per_site
+        arrivals, services = [], []
+        for _ in range(s.sites):
+            a = np.cumsum(np.asarray(gap.sample(rng, n), dtype=float))
+            arrivals.append(a)
+            services.append(np.asarray(service.sample(rng, n), dtype=float))
+        return arrivals, services
+
+    def measure_point(self, rate_per_site: float, seed_offset: int = 0) -> SweepPoint:
+        """Simulate edge and cloud at one per-site rate."""
+        s = self.scenario
+        if rate_per_site <= 0:
+            raise ValueError(f"rate_per_site must be > 0, got {rate_per_site}")
+        if s.utilization(rate_per_site) >= 1.0:
+            raise ValueError(
+                f"rate {rate_per_site} req/s saturates a site "
+                f"(max {s.saturation_rate_per_site} req/s)"
+            )
+        rng = np.random.default_rng(self.seed + 7919 * seed_offset)
+        arrivals, services = self._site_workloads(rate_per_site, rng)
+
+        edge = simulate_edge_system(
+            arrivals, services, s.edge_servers_per_site, s.edge_latency(), rng
+        )
+        merged = RequestTrace.merge(
+            [RequestTrace(a, sv) for a, sv in zip(arrivals, services)]
+        )
+        cloud = simulate_single_queue_system(
+            merged.arrival_times, merged.service_times, s.cloud_servers, s.cloud_latency(), rng
+        )
+        horizon = float(merged.arrival_times[-1])
+        cut = self.warmup_fraction * horizon
+        return SweepPoint(
+            rate_per_site=float(rate_per_site),
+            utilization=s.utilization(rate_per_site),
+            edge=summarize(edge.after(cut).end_to_end),
+            cloud=summarize(cloud.after(cut).end_to_end),
+        )
+
+    def sweep(self, rates) -> ComparisonResult:
+        """Measure a series of per-site rates (a full figure's series)."""
+        rates = list(rates)
+        if not rates:
+            raise ValueError("rates must be non-empty")
+        points = tuple(
+            self.measure_point(r, seed_offset=i) for i, r in enumerate(rates)
+        )
+        return ComparisonResult(scenario=self.scenario, points=points)
+
+    def find_crossover(
+        self, metric: str = "mean", utilizations=None
+    ) -> tuple[float | None, float | None]:
+        """Locate the inversion point over a default utilization grid.
+
+        Returns ``(rate, utilization)`` of the crossover, or
+        ``(None, None)`` if the edge stays ahead below saturation.
+        """
+        if utilizations is None:
+            utilizations = np.arange(0.1, 0.96, 0.05)
+        rates = [self.scenario.rate_for_utilization(float(u)) for u in utilizations]
+        result = self.sweep(rates)
+        rate = result.crossover_rate(metric)
+        if rate is None:
+            return None, None
+        return rate, self.scenario.utilization(rate)

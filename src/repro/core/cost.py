@@ -1,0 +1,183 @@
+"""Economic cost of edge vs cloud deployments (the paper's future work).
+
+The conclusion announces: "We also plan to study the economic costs of
+edge deployments resulting from the need to deploy extra capacity to
+prevent performance inversion."  This module implements that study's
+natural first cut:
+
+* :func:`min_servers_for_slo` — smallest M/M/c pool whose response-time
+  q-quantile meets a latency SLO (exact, via the closed-form M/M/c
+  response distribution);
+* :func:`compare_slo_costs` — provision edge and cloud fleets to the
+  *same end-to-end SLO* and price them, exposing the edge's capacity
+  premium (each site provisions alone → no pooling) plus any per-site
+  fixed overhead;
+* :class:`CostModel` — $/server-hour at edge and cloud plus per-site
+  overhead (edge sites are small, remote and amortize poorly, so
+  realistic edge $/server-hour exceeds the cloud's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queueing.mmk import MMk
+
+__all__ = ["CostModel", "DeploymentCost", "min_servers_for_slo", "compare_slo_costs"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Hourly prices of capacity.
+
+    Attributes
+    ----------
+    cloud_server_hourly:
+        $/server-hour in a hyperscale data center.
+    edge_server_hourly:
+        $/server-hour at an edge site (typically a multiple of the
+        cloud's: small sites, remote hands, worse PUE).
+    site_overhead_hourly:
+        Fixed $/hour per active edge site (rack, uplink, space) —
+        zero for the cloud, which amortizes across tenants.
+    """
+
+    cloud_server_hourly: float = 0.10
+    edge_server_hourly: float = 0.25
+    site_overhead_hourly: float = 0.50
+
+    def __post_init__(self):
+        if min(self.cloud_server_hourly, self.edge_server_hourly) <= 0:
+            raise ValueError("server-hour prices must be > 0")
+        if self.site_overhead_hourly < 0:
+            raise ValueError("site overhead must be >= 0")
+
+
+@dataclass(frozen=True)
+class DeploymentCost:
+    """Fleet sizing and hourly price of one deployment option."""
+
+    kind: str
+    servers: int
+    sites: int
+    hourly_cost: float
+    achieved_latency: float  # q-quantile end-to-end, seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}: {self.servers} servers over {self.sites} site(s), "
+            f"${self.hourly_cost:.2f}/h, q-latency {self.achieved_latency * 1e3:.1f} ms"
+        )
+
+
+def min_servers_for_slo(
+    arrival_rate: float,
+    service_rate: float,
+    latency_slo: float,
+    q: float = 0.95,
+    max_servers: int = 10_000,
+) -> int:
+    """Smallest c such that the M/M/c response q-quantile ≤ ``latency_slo``.
+
+    Raises
+    ------
+    ValueError
+        If even a single request in an empty system misses the SLO
+        (``latency_slo`` below the service-time q-quantile floor), or if
+        inputs are invalid.
+    """
+    if arrival_rate < 0 or service_rate <= 0:
+        raise ValueError("rates must be positive (arrival_rate may be 0)")
+    if latency_slo <= 0:
+        raise ValueError(f"latency_slo must be > 0, got {latency_slo}")
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"q must be in (0, 1), got {q}")
+    import math
+
+    # Floor: response time is at least the service time, Exp(mu).
+    floor = -math.log(1.0 - q) / service_rate
+    if latency_slo < floor:
+        raise ValueError(
+            f"SLO {latency_slo * 1e3:.1f} ms below the service-time q-quantile "
+            f"floor {floor * 1e3:.1f} ms — no pool size can meet it"
+        )
+    if arrival_rate == 0:
+        return 1
+    c = max(1, math.floor(arrival_rate / service_rate) + 1)
+    while c <= max_servers:
+        if MMk(arrival_rate, service_rate, c).response_time_percentile(q) <= latency_slo:
+            return c
+        c += 1
+    raise RuntimeError(f"no pool <= {max_servers} meets the SLO")
+
+
+def compare_slo_costs(
+    total_rate: float,
+    service_rate: float,
+    sites: int,
+    edge_rtt: float,
+    cloud_rtt: float,
+    latency_slo: float,
+    *,
+    q: float = 0.95,
+    cost_model: CostModel | None = None,
+) -> tuple[DeploymentCost, DeploymentCost]:
+    """Provision edge and cloud to the same end-to-end SLO and price both.
+
+    The edge splits ``total_rate`` evenly over ``sites`` sites, each
+    provisioned independently against ``latency_slo − edge_rtt``; the
+    cloud pools everything against ``latency_slo − cloud_rtt``.
+
+    Returns ``(edge_cost, cloud_cost)``.
+
+    Raises
+    ------
+    ValueError
+        If the SLO is infeasible for either side (e.g. tighter than the
+        cloud RTT — the regime where only the edge can play at all).
+    """
+    if sites < 1:
+        raise ValueError(f"sites must be >= 1, got {sites}")
+    if total_rate <= 0:
+        raise ValueError(f"total_rate must be > 0, got {total_rate}")
+    if min(edge_rtt, cloud_rtt) < 0 or cloud_rtt <= edge_rtt:
+        raise ValueError("need 0 <= edge_rtt < cloud_rtt")
+    cm = CostModel() if cost_model is None else cost_model
+
+    edge_budget = latency_slo - edge_rtt
+    cloud_budget = latency_slo - cloud_rtt
+    if edge_budget <= 0:
+        raise ValueError("SLO tighter than the edge RTT — infeasible everywhere")
+    if cloud_budget <= 0:
+        raise ValueError(
+            "SLO tighter than the cloud RTT — only an edge deployment can meet it"
+        )
+
+    per_site = min_servers_for_slo(total_rate / sites, service_rate, edge_budget, q)
+    edge_servers = per_site * sites
+    edge_latency = (
+        MMk(total_rate / sites, service_rate, per_site).response_time_percentile(q)
+        + edge_rtt
+    )
+    edge = DeploymentCost(
+        kind="edge",
+        servers=edge_servers,
+        sites=sites,
+        hourly_cost=edge_servers * cm.edge_server_hourly
+        + sites * cm.site_overhead_hourly,
+        achieved_latency=edge_latency,
+    )
+
+    cloud_servers = min_servers_for_slo(total_rate, service_rate, cloud_budget, q)
+    cloud_latency = (
+        MMk(total_rate, service_rate, cloud_servers).response_time_percentile(q)
+        + cloud_rtt
+    )
+    cloud = DeploymentCost(
+        kind="cloud",
+        servers=cloud_servers,
+        sites=1,
+        hourly_cost=cloud_servers * cm.cloud_server_hourly,
+        achieved_latency=cloud_latency,
+    )
+    return edge, cloud

@@ -1,0 +1,143 @@
+"""Placement advisor: choose edge / cloud / hybrid per region.
+
+The paper's design-implications section tells application developers to
+*estimate* their inversion risk; this module closes the loop and makes
+the decision.  For each region (demand, edge RTT, cloud RTT) it
+evaluates both placements with the analytic models —
+
+* **edge** — a dedicated per-region site (M/M/c at the region's rate);
+* **cloud** — serve from the shared pool (M/M/kc at the aggregate rate);
+
+— and recommends the cheaper placement meeting the latency objective,
+or the lower-latency placement when neither meets it.  (Per-request
+hybrids are available in :class:`repro.mitigation.offload.HybridDeployment`;
+this advisor answers the coarser per-region question.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost import CostModel
+from repro.queueing.mmk import MMk
+from repro.sim.geo import Region
+
+__all__ = ["PlacementDecision", "recommend_placements"]
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """Recommendation for one region."""
+
+    region: str
+    placement: str  # "edge" | "cloud"
+    edge_latency: float  # q-quantile end-to-end if served at the edge
+    cloud_latency: float  # q-quantile end-to-end if served from the cloud
+    meets_objective: bool
+    monthly_cost_delta: float  # edge cost minus cloud cost, $/month
+
+    @property
+    def latency(self) -> float:
+        """The q-latency of the chosen placement."""
+        return self.edge_latency if self.placement == "edge" else self.cloud_latency
+
+
+def _edge_quantile(
+    rate: float, mu: float, servers: int, q: float
+) -> float:
+    if rate <= 0:
+        return MMk(1e-9, mu, servers).response_time_percentile(q)
+    return MMk(rate, mu, servers).response_time_percentile(q)
+
+
+def recommend_placements(
+    regions: Sequence[Region],
+    total_rate: float,
+    mu: float,
+    servers_per_site: int,
+    *,
+    latency_objective: float = 0.5,
+    q: float = 0.95,
+    cost_model: CostModel | None = None,
+) -> list[PlacementDecision]:
+    """Recommend a placement per region.
+
+    The cloud pool serves every region routed to it; to keep the
+    analysis tractable (and conservative for the cloud) the pool is
+    sized at ``len(regions) × servers_per_site`` and evaluated at the
+    aggregate demand — the paper's like-for-like fleet comparison.
+
+    Parameters
+    ----------
+    latency_objective:
+        End-to-end q-quantile target in seconds.
+    cost_model:
+        Prices for the cost delta (defaults to :class:`CostModel`).
+
+    Returns
+    -------
+    list of PlacementDecision
+        One per region, in input order.
+    """
+    regions = list(regions)
+    if not regions:
+        raise ValueError("need at least one region")
+    if total_rate <= 0 or mu <= 0:
+        raise ValueError("total_rate and mu must be > 0")
+    if servers_per_site < 1:
+        raise ValueError(f"servers_per_site must be >= 1, got {servers_per_site}")
+    if latency_objective <= 0:
+        raise ValueError(f"latency_objective must be > 0, got {latency_objective}")
+    cm = CostModel() if cost_model is None else cost_model
+    weights = [r.weight for r in regions]
+    wsum = sum(weights)
+    if wsum <= 0:
+        raise ValueError("region weights must have positive sum")
+
+    cloud_pool = len(regions) * servers_per_site
+    if total_rate >= cloud_pool * mu:
+        raise ValueError(
+            f"aggregate demand {total_rate} req/s saturates the {cloud_pool}-server pool"
+        )
+    cloud_server_q = MMk(total_rate, mu, cloud_pool).response_time_percentile(q)
+
+    hours_per_month = 730.0
+    edge_monthly = (
+        servers_per_site * cm.edge_server_hourly + cm.site_overhead_hourly
+    ) * hours_per_month
+    cloud_monthly = servers_per_site * cm.cloud_server_hourly * hours_per_month
+
+    decisions = []
+    for region in regions:
+        rate = total_rate * region.weight / wsum
+        if rate >= servers_per_site * mu:
+            raise ValueError(
+                f"region {region.name!r} demand {rate:.1f} req/s saturates its "
+                f"{servers_per_site}-server edge site"
+            )
+        edge_latency = region.edge_rtt + _edge_quantile(rate, mu, servers_per_site, q)
+        cloud_latency = region.cloud_rtt + cloud_server_q
+        edge_ok = edge_latency <= latency_objective
+        cloud_ok = cloud_latency <= latency_objective
+        if cloud_ok:
+            # Cloud meets the objective: it is always the cheaper option.
+            placement = "cloud"
+            meets = True
+        elif edge_ok:
+            placement = "edge"
+            meets = True
+        else:
+            placement = "edge" if edge_latency < cloud_latency else "cloud"
+            meets = False
+        decisions.append(
+            PlacementDecision(
+                region=region.name,
+                placement=placement,
+                edge_latency=edge_latency,
+                cloud_latency=cloud_latency,
+                meets_objective=meets,
+                monthly_cost_delta=edge_monthly - cloud_monthly,
+            )
+        )
+    return decisions

@@ -1,0 +1,44 @@
+"""Experiment sizing knobs.
+
+Two presets: ``FAST`` keeps every experiment under a few seconds (CI and
+benchmarks), ``FULL`` uses the sample sizes that pin tail percentiles
+tightly (for regenerating EXPERIMENTS.md numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentConfig", "FAST", "FULL"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizing of the figure experiments.
+
+    Attributes
+    ----------
+    requests_per_site:
+        Simulated requests per edge site per sweep point.
+    azure_duration:
+        Virtual seconds of synthetic Azure trace replayed (Figs 8–10).
+    azure_functions:
+        Number of serverless functions generated.
+    seed:
+        Base seed; every experiment derives independent streams from it.
+    """
+
+    requests_per_site: int = 40_000
+    azure_duration: float = 2 * 3600.0
+    azure_functions: int = 40
+    seed: int = 2021
+
+    def __post_init__(self):
+        if self.requests_per_site < 1000:
+            raise ValueError(f"requests_per_site too small: {self.requests_per_site}")
+        if self.azure_duration <= 0 or self.azure_functions < 5:
+            raise ValueError("invalid azure trace sizing")
+
+
+FAST = ExperimentConfig(requests_per_site=30_000, azure_duration=3600.0)
+FULL = ExperimentConfig(requests_per_site=200_000, azure_duration=6 * 3600.0)

@@ -1,0 +1,174 @@
+"""Plain-text rendering of experiment results.
+
+Every figure runner's result can be rendered as the table/series the
+paper plots; the benchmarks print these so a run of
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full
+evaluation in text form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.comparator import ComparisonResult
+from repro.experiments.figures import (
+    Fig2Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    SweepFigure,
+)
+from repro.experiments.validation import ValidationRow
+
+__all__ = [
+    "render_sweep",
+    "render_sweep_figure",
+    "render_fig2",
+    "render_fig6",
+    "render_fig7",
+    "render_fig8",
+    "render_fig9",
+    "render_fig10",
+    "render_validation",
+]
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:8.2f}"
+
+
+def _fmt_rho(rho: float | None) -> str:
+    return "none" if rho is None else f"{rho:.2f}"
+
+
+def render_sweep(result: ComparisonResult, metric: str = "mean") -> str:
+    """One figure series: rate, edge and cloud latency, who wins."""
+    lines = [
+        f"{result.scenario.name} — {metric} end-to-end latency",
+        f"{'req/s/site':>10} {'util':>6} {'edge(ms)':>9} {'cloud(ms)':>9}  winner",
+    ]
+    for p in result.points:
+        edge_v = getattr(p.edge, metric)
+        cloud_v = getattr(p.cloud, metric)
+        winner = "edge" if edge_v < cloud_v else "CLOUD"
+        lines.append(
+            f"{p.rate_per_site:>10.1f} {p.utilization:>6.2f} "
+            f"{_fmt_ms(edge_v)} {_fmt_ms(cloud_v)}  {winner}"
+        )
+    x = result.crossover_rate(metric)
+    lines.append(f"crossover: {'none in range' if x is None else f'{x:.1f} req/s/site'}")
+    return "\n".join(lines)
+
+
+def render_sweep_figure(fig: SweepFigure) -> str:
+    """Both fleet sizes of a Figure 3/4/5-style experiment."""
+    parts = [
+        render_sweep(fig.k5, fig.metric),
+        "",
+        render_sweep(fig.k10, fig.metric),
+        "",
+        f"per-server crossovers: {fig.crossovers()}",
+    ]
+    return "\n".join(parts)
+
+
+def render_fig2(result: Fig2Result) -> str:
+    """The per-cell load box-plot summary."""
+    q1, q2, q3 = result.quartiles
+    return (
+        "Figure 2 — per-cell edge load (requests per minute)\n"
+        f"cells: {result.per_cell_mean_load.size}\n"
+        f"quartiles: q1={q1:.1f} median={q2:.1f} q3={q3:.1f}\n"
+        f"max/mean={result.skew['max_over_mean']:.2f} "
+        f"p95/median={result.skew['p95_over_median']:.2f} "
+        f"cell CoV={result.skew['cell_cv']:.2f}"
+    )
+
+
+def render_fig6(result: Fig6Result) -> str:
+    """Violin-plot substitute: quartiles and tails of both distributions."""
+    lines = [f"Figure 6 — latency distribution at {result.rate:.0f} req/s/server"]
+    for label, s in (("edge", result.edge), ("cloud", result.cloud)):
+        m = s.as_ms()
+        lines.append(
+            f"{label:>6}: p25={m['p25']:.1f} p50={m['p50']:.1f} p75={m['p75']:.1f} "
+            f"p95={m['p95']:.1f} p99={m['p99']:.1f} (ms)"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Cutoff utilization per cloud placement."""
+    lines = [
+        "Figure 7 — cutoff utilization for inversion vs cloud RTT (k=5)",
+        f"{'RTT(ms)':>8} {'mean cutoff':>12} {'tail cutoff':>12} {'predicted':>10}",
+    ]
+    for rtt, m, t, p in zip(
+        result.rtts_ms, result.mean_cutoff, result.tail_cutoff, result.predicted_cutoff
+    ):
+        lines.append(f"{rtt:>8.0f} {_fmt_rho(m):>12} {_fmt_rho(t):>12} {p:>10.2f}")
+    return "\n".join(lines)
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """Per-site workload summary."""
+    lines = ["Figure 8 — per-site request rate under the Azure-like trace"]
+    for i, rates in enumerate(result.site_rates):
+        r = rates[~np.isnan(rates)]
+        lines.append(
+            f"site {i}: mean={np.mean(r):6.2f} req/s  min={np.min(r):6.2f}  "
+            f"max={np.max(r):6.2f}"
+        )
+    lines.append(f"spatial CoV of site means: {result.spatial_cv:.2f}")
+    return "\n".join(lines)
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Edge vs cloud mean-latency time series summary."""
+    e = result.edge_mean[~np.isnan(result.edge_mean)]
+    c = result.cloud_mean[~np.isnan(result.cloud_mean)]
+    return (
+        "Figure 9 — windowed mean latency under the Azure-like trace\n"
+        f"edge : mean={np.mean(e) * 1e3:7.2f} ms  std={np.std(e) * 1e3:6.2f} ms\n"
+        f"cloud: mean={np.mean(c) * 1e3:7.2f} ms  std={np.std(c) * 1e3:6.2f} ms\n"
+        f"windows with edge worse than cloud: {result.inversion_fraction:.0%}\n"
+        f"edge/cloud series variability ratio: {result.edge_variability:.1f}"
+    )
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Per-site latency box-plot summary."""
+    lines = [
+        "Figure 10 — per-site latency under the Azure-like trace",
+        f"{'site':>6} {'rate':>7} {'rho':>5} {'p25':>8} {'p50':>8} {'p75':>8} {'p95':>8} (ms)",
+    ]
+    for i, (s, r, u) in enumerate(
+        zip(result.site_summaries, result.site_rates, result.site_utilizations)
+    ):
+        m = s.as_ms()
+        lines.append(
+            f"{i:>6} {r:>7.2f} {u:>5.2f} {m['p25']:>8.1f} {m['p50']:>8.1f} "
+            f"{m['p75']:>8.1f} {m['p95']:>8.1f}"
+        )
+    m = result.cloud_summary.as_ms()
+    lines.append(
+        f"{'cloud':>6} {'':>7} {'':>5} {m['p25']:>8.1f} {m['p50']:>8.1f} "
+        f"{m['p75']:>8.1f} {m['p95']:>8.1f}"
+    )
+    return "\n".join(lines)
+
+
+def render_validation(rows: list[ValidationRow]) -> str:
+    """The §4.2 analytic-vs-measured table."""
+    lines = [
+        "Section 4.2 — analytic cutoff validation",
+        f"{'k':>4} {'paper pred':>10} {'paper meas':>10} {'our pred':>9} {'our meas':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.k_machines:>4} {r.paper_predicted:>10.2f} {r.paper_measured:>10.2f} "
+            f"{r.our_predicted:>9.2f} {_fmt_rho(r.our_measured):>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Sensitivity analysis of the inversion cutoff to model parameters.
+
+The calibration in DESIGN.md §6 fixes (cores, service CoV) against one
+measured anchor; this module quantifies how the predicted cutoff moves
+when each assumption moves — the analysis a reviewer would ask for:
+
+* :func:`cutoff_vs_cores` — effective concurrency per machine;
+* :func:`cutoff_vs_service_cv2` — service-time variability;
+* :func:`cutoff_vs_sites` — fleet geo-distribution (k);
+* :func:`cutoff_vs_delta_n` — the RTT advantage itself (Figure 7's
+  analytic backbone, on a dense grid).
+
+All use the unit-consistent exact solver, so they run in milliseconds
+and can sweep densely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.inversion import cutoff_utilization_exact
+from repro.core.scenarios import Scenario
+from repro.core.tail import cutoff_utilization_tail
+from repro.workload.service import DNNInferenceModel
+
+__all__ = [
+    "SensitivityRow",
+    "cutoff_vs_cores",
+    "cutoff_vs_service_cv2",
+    "cutoff_vs_sites",
+    "cutoff_vs_delta_n",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One point of a sensitivity sweep."""
+
+    parameter: str
+    value: float
+    mean_cutoff: float
+    tail_cutoff: float
+
+
+def _cutoffs(scenario: Scenario, ca2: float = 1.0) -> tuple[float, float]:
+    mean = cutoff_utilization_exact(
+        scenario.delta_n,
+        scenario.service.core_service_rate,
+        scenario.edge_servers_per_site,
+        scenario.cloud_servers,
+        ca2=ca2,
+        cs2=scenario.service.cv2,
+    )
+    tail = cutoff_utilization_tail(
+        scenario.delta_n,
+        scenario.service.core_service_rate,
+        scenario.edge_servers_per_site,
+        scenario.cloud_servers,
+        q=0.95,
+        ca2=ca2,
+        cs2=scenario.service.cv2,
+    )
+    return mean, tail
+
+
+def cutoff_vs_cores(
+    scenario: Scenario, cores: Sequence[int] = (1, 2, 4, 8, 16)
+) -> list[SensitivityRow]:
+    """Cutoff utilization as the per-machine concurrency varies.
+
+    More lanes per machine = more local pooling = later inversion; this
+    sweep bounds how much the cores calibration matters.
+    """
+    rows = []
+    for c in cores:
+        svc = DNNInferenceModel(
+            saturation_rate=scenario.service.saturation_rate,
+            cores=int(c),
+            cv2=scenario.service.cv2,
+        )
+        s = replace(scenario, service=svc)
+        mean, tail = _cutoffs(s)
+        rows.append(SensitivityRow("cores", float(c), mean, tail))
+    return rows
+
+
+def cutoff_vs_service_cv2(
+    scenario: Scenario, cv2s: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0)
+) -> list[SensitivityRow]:
+    """Cutoff utilization as the service-time variability varies."""
+    rows = []
+    for cv2 in cv2s:
+        svc = DNNInferenceModel(
+            saturation_rate=scenario.service.saturation_rate,
+            cores=scenario.service.cores,
+            cv2=float(cv2),
+        )
+        s = replace(scenario, service=svc)
+        mean, tail = _cutoffs(s)
+        rows.append(SensitivityRow("service_cv2", float(cv2), mean, tail))
+    return rows
+
+
+def cutoff_vs_sites(
+    scenario: Scenario, sites: Sequence[int] = (2, 5, 10, 20, 50)
+) -> list[SensitivityRow]:
+    """Cutoff utilization as the fleet spreads over more sites.
+
+    Corollary 3.1.2's approach to the :math:`k \\to \\infty` limit,
+    on the exact model.
+    """
+    rows = []
+    for k in sites:
+        s = scenario.with_sites(int(k))
+        mean, tail = _cutoffs(s)
+        rows.append(SensitivityRow("sites", float(k), mean, tail))
+    return rows
+
+
+def cutoff_vs_delta_n(
+    scenario: Scenario, rtts_ms: Sequence[float] = (5, 10, 15, 24, 40, 54, 80, 120)
+) -> list[SensitivityRow]:
+    """Cutoff utilization across a dense cloud-RTT grid (Figure 7, analytic)."""
+    rows = []
+    for rtt in rtts_ms:
+        if rtt <= scenario.edge_rtt_ms:
+            raise ValueError(
+                f"cloud RTT {rtt} ms must exceed edge RTT {scenario.edge_rtt_ms} ms"
+            )
+        s = replace(scenario, cloud_rtt_ms=float(rtt))
+        mean, tail = _cutoffs(s)
+        rows.append(SensitivityRow("cloud_rtt_ms", float(rtt), mean, tail))
+    return rows

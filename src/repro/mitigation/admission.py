@@ -1,0 +1,92 @@
+"""Admission control: protect latency by refusing excess load.
+
+Complementary to dropping at a full queue
+(:class:`~repro.sim.station.Station` with ``queue_capacity``): an
+admission controller rejects requests *at the front door*, before they
+consume queue slots, keeping the latency of admitted requests bounded
+during overload — the standard alternative the paper's §4.2 "dropping
+or thrashing" observation motivates.
+
+Two policies:
+
+* :class:`OccupancyAdmission` — admit while in-system per server is
+  below a threshold (the queue-pressure analogue of geo-LB/offload).
+* :class:`TokenBucketAdmission` — admit at a sustained rate with burst
+  tolerance (rate-based protection independent of queue state).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+from repro.sim.station import Station
+
+__all__ = ["OccupancyAdmission", "TokenBucketAdmission", "AdmissionControlledStation"]
+
+
+class OccupancyAdmission:
+    """Admit while the station holds fewer than ``limit`` requests/server."""
+
+    def __init__(self, limit: float):
+        if limit <= 0:
+            raise ValueError(f"limit must be > 0, got {limit}")
+        self.limit = float(limit)
+
+    def admit(self, station: Station, request: Request, now: float) -> bool:
+        """Decide admission for one arriving request."""
+        return station.in_system / station.servers < self.limit
+
+
+class TokenBucketAdmission:
+    """Classic token bucket: ``rate`` tokens/s, burst capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0 or burst < 1:
+            raise ValueError(f"need rate > 0 and burst >= 1, got {rate}, {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def admit(self, station: Station, request: Request, now: float) -> bool:
+        """Decide admission; consumes one token when admitting."""
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionControlledStation:
+    """A station fronted by an admission policy.
+
+    Exposes the same ``arrive`` interface as a plain station, so it can
+    stand behind deployments unchanged; rejected requests are counted
+    and optionally handed to ``on_reject``.
+    """
+
+    def __init__(self, sim: Simulation, station: Station, policy, on_reject=None):
+        self.sim = sim
+        self.station = station
+        self.policy = policy
+        self.on_reject = on_reject
+        self.rejected = 0
+        self.offered = 0
+
+    def arrive(self, request: Request) -> None:
+        """Admit into the backing station or reject at the door."""
+        self.offered += 1
+        if self.policy.admit(self.station, request, self.sim.now):
+            self.station.arrive(request)
+        else:
+            self.rejected += 1
+            if self.on_reject is not None:
+                self.on_reject(request)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered requests rejected."""
+        if self.offered == 0:
+            return 0.0
+        return self.rejected / self.offered

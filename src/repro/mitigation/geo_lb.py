@@ -1,0 +1,92 @@
+"""Geographic load balancing (queue jockeying) for edge deployments.
+
+Section 5.1: "Edge performance inversion can be avoided by employing ...
+geographic load balancing methods, where requests to an overloaded edge
+site are redirected to nearby edge sites with spare capacity."  The bank
+teller analogy breaks once jockeying between queues is allowed
+(Rothkopf & Rech), so redirection directly attacks the root cause.
+
+:class:`GeoLoadBalancer` plugs into
+:class:`~repro.sim.topology.EdgeDeployment` as its ``router``: when the
+home site's occupancy exceeds a threshold, the request is redirected to
+the least-occupied neighbor (if meaningfully better), paying an
+inter-site network hop.
+"""
+
+from __future__ import annotations
+
+from repro.sim.request import Request
+from repro.sim.topology import EdgeDeployment, EdgeSite
+
+__all__ = ["GeoLoadBalancer"]
+
+
+class GeoLoadBalancer:
+    """Threshold-based redirection between edge sites.
+
+    Parameters
+    ----------
+    occupancy_threshold:
+        Redirect when the home site has at least this many requests in
+        system *per server* (queue pressure signal; 1.0 means "all
+        servers busy").
+    inter_site_oneway:
+        Extra one-way network delay (seconds) of the redirect hop —
+        edge sites are mutually nearby, but not free to reach.
+    improvement_factor:
+        Only redirect if the best neighbor's per-server occupancy is
+        below ``improvement_factor ×`` the home site's (hysteresis that
+        prevents ping-ponging between equally loaded sites).
+    """
+
+    def __init__(
+        self,
+        occupancy_threshold: float = 1.0,
+        inter_site_oneway: float = 0.003,
+        improvement_factor: float = 0.5,
+    ):
+        if occupancy_threshold < 0:
+            raise ValueError(f"occupancy_threshold must be >= 0, got {occupancy_threshold}")
+        if inter_site_oneway < 0:
+            raise ValueError(f"inter_site_oneway must be >= 0, got {inter_site_oneway}")
+        if not 0.0 < improvement_factor <= 1.0:
+            raise ValueError(
+                f"improvement_factor must be in (0, 1], got {improvement_factor}"
+            )
+        self.occupancy_threshold = float(occupancy_threshold)
+        self.inter_site_oneway = float(inter_site_oneway)
+        self.improvement_factor = float(improvement_factor)
+        self.redirected = 0
+        self.considered = 0
+
+    @staticmethod
+    def _pressure(site: EdgeSite) -> float:
+        """Requests in system per server — the redirect signal."""
+        return site.station.in_system / site.station.servers
+
+    def route(
+        self, deployment: EdgeDeployment, request: Request, home: EdgeSite
+    ) -> tuple[EdgeSite, float]:
+        """Return the serving site and extra one-way delay for a request."""
+        self.considered += 1
+        home_pressure = self._pressure(home)
+        if home_pressure < self.occupancy_threshold:
+            return home, 0.0
+        best = min(
+            (s for s in deployment.sites if s is not home),
+            key=self._pressure,
+            default=None,
+        )
+        if best is None:
+            return home, 0.0
+        if self._pressure(best) <= self.improvement_factor * home_pressure:
+            self.redirected += 1
+            return best, self.inter_site_oneway
+        return home, 0.0
+
+    @property
+    def redirect_fraction(self) -> float:
+        """Fraction of routed requests that were redirected."""
+        if self.considered == 0:
+            return 0.0
+        return self.redirected / self.considered

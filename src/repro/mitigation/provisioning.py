@@ -1,0 +1,134 @@
+"""Skew-aware capacity planning for edge fleets.
+
+Combines the paper's two provisioning prescriptions:
+
+1. **Proportional allocation** (after Lemma 3.3): give each site
+   capacity proportional to the workload it sees, equalizing per-site
+   utilizations so the skewed bound collapses to the balanced one.
+2. **Inversion-free floors** (Equation 22): at each site, at least the
+   :func:`~repro.core.capacity.min_edge_servers` needed to keep the
+   mean-latency inversion condition from holding, times an
+   over-provisioning factor for headroom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.capacity import min_edge_servers, proportional_allocation
+
+__all__ = ["SkewAwarePlan", "plan_capacity"]
+
+
+@dataclass(frozen=True)
+class SkewAwarePlan:
+    """A per-site server allocation and its derived properties."""
+
+    site_rates: tuple[float, ...]
+    servers: tuple[int, ...]
+    mu: float
+
+    @property
+    def total_servers(self) -> int:
+        """Fleet size of the plan."""
+        return sum(self.servers)
+
+    @property
+    def utilizations(self) -> tuple[float, ...]:
+        """Per-site utilization under the plan."""
+        return tuple(
+            r / (s * self.mu) if s > 0 else 0.0
+            for r, s in zip(self.site_rates, self.servers)
+        )
+
+    @property
+    def max_utilization(self) -> float:
+        """Hottest site's utilization (the inversion risk driver)."""
+        return max(self.utilizations, default=0.0)
+
+    def is_stable(self) -> bool:
+        """True when every loaded site has capacity above its load."""
+        return all(
+            s * self.mu > r for r, s in zip(self.site_rates, self.servers) if r > 0
+        )
+
+
+def plan_capacity(
+    site_rates: Sequence[float],
+    mu: float,
+    *,
+    delta_n: float | None = None,
+    cloud_servers: int | None = None,
+    overprovision: float = 1.0,
+    time_unit: float = 1.0,
+) -> SkewAwarePlan:
+    """Compute a per-site server plan for a (possibly skewed) workload.
+
+    Parameters
+    ----------
+    site_rates:
+        Request rate arriving at each edge site (req/s).
+    mu:
+        Per-server service rate (req/s).
+    delta_n / cloud_servers:
+        When both are given, apply Equation 22's inversion-avoidance
+        floor per site (``delta_n`` in the units ``time_unit`` converts
+        to; ``cloud_servers`` is the k of the comparison cloud).
+        Otherwise only stability floors apply.
+    overprovision:
+        Multiplicative headroom factor ≥ 1 applied to each site's floor
+        (the paper's "overprovisioning factor ... to allow sufficient
+        headroom").
+
+    Returns
+    -------
+    SkewAwarePlan
+        The resulting allocation (stable by construction).
+    """
+    rates = [float(r) for r in site_rates]
+    if not rates or any(r < 0 for r in rates):
+        raise ValueError(f"site_rates must be non-empty and non-negative, got {rates}")
+    if mu <= 0:
+        raise ValueError(f"mu must be > 0, got {mu}")
+    if overprovision < 1.0:
+        raise ValueError(f"overprovision must be >= 1, got {overprovision}")
+    if (delta_n is None) != (cloud_servers is None):
+        raise ValueError("delta_n and cloud_servers must be given together")
+
+    total = sum(rates)
+    servers: list[int] = []
+    for r in rates:
+        if r == 0.0:
+            servers.append(0)
+            continue
+        if delta_n is not None:
+            floor = min_edge_servers(
+                delta_n, r, mu, cloud_servers, total, time_unit=time_unit
+            )
+        else:
+            floor = math.floor(r / mu) + 1  # stability only
+        servers.append(max(1, math.ceil(floor * overprovision)))
+    return SkewAwarePlan(site_rates=tuple(rates), servers=tuple(servers), mu=mu)
+
+
+def rebalance_to_budget(
+    site_rates: Sequence[float], total_servers: int, mu: float
+) -> SkewAwarePlan:
+    """Distribute a fixed server budget proportionally to site load.
+
+    The constrained variant: the fleet size is given (e.g. the k servers
+    of the cloud deployment) and the question is only *where* to put
+    them.  Raises if the budget cannot keep every loaded site stable.
+    """
+    rates = [float(r) for r in site_rates]
+    if mu <= 0:
+        raise ValueError(f"mu must be > 0, got {mu}")
+    alloc = proportional_allocation(rates, total_servers)
+    plan = SkewAwarePlan(site_rates=tuple(rates), servers=tuple(alloc), mu=mu)
+    if not plan.is_stable():
+        raise ValueError(
+            f"budget of {total_servers} servers cannot stabilize rates {rates} at mu={mu}"
+        )
+    return plan

@@ -1,0 +1,103 @@
+"""Exact M/G/1 results (Pollaczek–Khinchine) and the M/D/k approximation.
+
+The paper's application has low-variability (far from exponential)
+service times, so the M/G/1 family is the right exact model for a
+single edge server under Poisson arrivals:
+
+* :class:`MG1` — Pollaczek–Khinchine mean wait
+  :math:`E[W_q] = \\lambda E[S^2] / (2(1-\\rho))`, plus queue lengths.
+* :func:`mdk_wait` — the classical Cosmetatos-style approximation for
+  M/D/k as half the M/M/k wait with a small correction, widely used and
+  asymptotically exact in heavy traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.queueing.base import ensure_stable
+from repro.queueing.distributions import Distribution
+from repro.queueing.mmk import MMk
+
+__all__ = ["MG1", "mdk_wait"]
+
+
+class MG1:
+    """M/G/1 FCFS queue with an arbitrary service-time distribution.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate :math:`\\lambda` (req/s).
+    service:
+        Service-time distribution (uses its first two moments).
+    """
+
+    servers = 1
+
+    def __init__(self, arrival_rate: float, service: Distribution):
+        if service.mean <= 0:
+            raise ValueError("service distribution must have positive mean")
+        self._rho = ensure_stable(arrival_rate, 1.0 / service.mean, 1)
+        self.arrival_rate = float(arrival_rate)
+        self.service = service
+        self.service_rate = 1.0 / service.mean
+
+    @property
+    def utilization(self) -> float:
+        """:math:`\\rho = \\lambda E[S]`."""
+        return self._rho
+
+    def second_moment(self) -> float:
+        """:math:`E[S^2] = Var[S] + E[S]^2`."""
+        return self.service.variance + self.service.mean**2
+
+    def mean_wait(self) -> float:
+        """Pollaczek–Khinchine: :math:`E[W_q] = \\lambda E[S^2]/(2(1-\\rho))`."""
+        return self.arrival_rate * self.second_moment() / (2.0 * (1.0 - self._rho))
+
+    def mean_response(self) -> float:
+        """:math:`E[T] = E[W_q] + E[S]`."""
+        return self.mean_wait() + self.service.mean
+
+    def mean_queue_length(self) -> float:
+        """:math:`E[L_q] = \\lambda E[W_q]` (Little)."""
+        return self.arrival_rate * self.mean_wait()
+
+    def mean_number_in_system(self) -> float:
+        """:math:`E[L] = \\lambda E[T]` (Little)."""
+        return self.arrival_rate * self.mean_response()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MG1(arrival_rate={self.arrival_rate}, service_mean={self.service.mean:.6g}, "
+            f"rho={self._rho:.4f})"
+        )
+
+
+def mdk_wait(arrival_rate: float, service_rate: float, servers: int) -> float:
+    """Approximate mean wait of an M/D/k queue, in seconds.
+
+    Uses the standard Cosmetatos refinement of the "half the M/M/k
+    wait" rule:
+
+    .. math::
+       E[W_q^{M/D/k}] \\approx \\tfrac12\\,E[W_q^{M/M/k}]
+           \\Big[1 + (1-\\rho)(k-1)\\frac{\\sqrt{4+5k}-2}{16\\,\\rho k}\\Big]
+
+    Exact for k = 1; within a few percent for moderate-to-high
+    utilization.  In light traffic (ρ ≲ 0.2 with many servers) the raw
+    correction overshoots, so the result is capped at the M/M/k wait —
+    deterministic service can never wait longer than exponential.
+    """
+    rho = ensure_stable(arrival_rate, service_rate, servers)
+    if rho == 0.0:
+        return 0.0
+    mmk = MMk(arrival_rate, service_rate, servers).mean_wait()
+    base = mmk / 2.0
+    if servers == 1:
+        return base
+    correction = 1.0 + (1.0 - rho) * (servers - 1) * (
+        math.sqrt(4.0 + 5.0 * servers) - 2.0
+    ) / (16.0 * rho * servers)
+    return min(base * correction, mmk)

@@ -1,0 +1,110 @@
+"""Exact steady-state results for the M/M/1 queue.
+
+Each edge site in the paper's balanced model is an M/M/1 system seeing
+:math:`\\lambda/k` req/s (Section 3.1.1).  All classical results are
+closed form; response time is exponential with rate :math:`\\mu - \\lambda`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.queueing.base import ensure_stable
+
+__all__ = ["MM1"]
+
+
+class MM1:
+    """M/M/1 FCFS queue with arrival rate ``arrival_rate`` and service rate ``service_rate``.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Poisson arrival rate :math:`\\lambda` (req/s).
+    service_rate:
+        Exponential service rate :math:`\\mu` (req/s).
+
+    Raises
+    ------
+    StabilityError
+        If :math:`\\lambda \\ge \\mu`.
+    """
+
+    servers = 1
+
+    def __init__(self, arrival_rate: float, service_rate: float):
+        self._rho = ensure_stable(arrival_rate, service_rate, 1)
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+
+    @property
+    def utilization(self) -> float:
+        """:math:`\\rho = \\lambda/\\mu`."""
+        return self._rho
+
+    def prob_wait(self) -> float:
+        """Probability an arrival must wait, :math:`P(W_q > 0) = \\rho` (PASTA)."""
+        return self._rho
+
+    def mean_wait(self) -> float:
+        """:math:`E[W_q] = \\rho / (\\mu - \\lambda)`."""
+        return self._rho / (self.service_rate - self.arrival_rate)
+
+    def mean_conditional_wait(self) -> float:
+        """:math:`E[W_q \\mid W_q > 0] = 1/(\\mu - \\lambda)`."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def mean_response(self) -> float:
+        """:math:`E[T] = 1/(\\mu - \\lambda)`."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def mean_queue_length(self) -> float:
+        """:math:`E[L_q] = \\rho^2/(1-\\rho)`."""
+        return self._rho**2 / (1.0 - self._rho)
+
+    def mean_number_in_system(self) -> float:
+        """:math:`E[L] = \\rho/(1-\\rho)`."""
+        return self._rho / (1.0 - self._rho)
+
+    def response_time_cdf(self, t):
+        """CDF of the response time: :math:`1 - e^{-(\\mu-\\lambda)t}` for t ≥ 0."""
+        t = np.asarray(t, dtype=float)
+        out = 1.0 - np.exp(-(self.service_rate - self.arrival_rate) * np.maximum(t, 0.0))
+        return np.where(t < 0, 0.0, out)
+
+    def response_time_percentile(self, q: float) -> float:
+        """Quantile of the response time for ``q`` in (0, 1)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        return -math.log(1.0 - q) / (self.service_rate - self.arrival_rate)
+
+    def waiting_time_cdf(self, t):
+        """CDF of the queueing delay: :math:`1 - \\rho e^{-(\\mu-\\lambda)t}` for t ≥ 0.
+
+        Has an atom of size :math:`1 - \\rho` at zero.
+        """
+        t = np.asarray(t, dtype=float)
+        out = 1.0 - self._rho * np.exp(
+            -(self.service_rate - self.arrival_rate) * np.maximum(t, 0.0)
+        )
+        return np.where(t < 0, 0.0, out)
+
+    def waiting_time_percentile(self, q: float) -> float:
+        """Quantile of the queueing delay for ``q`` in (0, 1).
+
+        Returns 0 for any quantile inside the atom at zero
+        (:math:`q \\le 1 - \\rho`).
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        if q <= 1.0 - self._rho:
+            return 0.0
+        return -math.log((1.0 - q) / self._rho) / (self.service_rate - self.arrival_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MM1(arrival_rate={self.arrival_rate}, "
+            f"service_rate={self.service_rate}, rho={self._rho:.4f})"
+        )

@@ -1,0 +1,165 @@
+"""Request batching à la TensorFlow Serving.
+
+The paper's application is DNN inference, which production stacks serve
+in *batches*: a batch of b images through one forward pass costs far
+less than b separate passes (``base + per_item × b`` is a good model).
+Batching interacts with the edge-vs-cloud question in an interesting
+way (extension E8): batches fill with *arrival rate*, so the pooled
+cloud assembles full batches quickly while a lightly-loaded edge site
+must either wait out the batch timeout or run small, inefficient
+batches — an additional pooling advantage on top of the queueing one.
+
+:class:`BatchingStation` implements the standard policy: start a batch
+when ``batch_size`` requests are waiting, or when the oldest waiting
+request has aged ``batch_timeout`` seconds, whichever comes first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+
+__all__ = ["BatchingStation", "affine_batch_time"]
+
+
+def affine_batch_time(base: float, per_item: float) -> Callable[[int], float]:
+    """Batch service-time model ``base + per_item × b`` (seconds).
+
+    ``base`` is the fixed cost of a forward pass (kernel launches,
+    weight streaming); ``per_item`` the marginal per-image cost.
+    """
+    if base < 0 or per_item <= 0:
+        raise ValueError(f"need base >= 0 and per_item > 0, got {base}, {per_item}")
+
+    def batch_time(b: int) -> float:
+        return base + per_item * b
+
+    return batch_time
+
+
+class BatchingStation:
+    """FCFS station that serves requests in batches.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    servers:
+        Parallel batch executors (GPUs / model replicas).
+    batch_size:
+        Maximum (and target) batch size.
+    batch_timeout:
+        Maximum time the oldest waiting request may age before a
+        partial batch is dispatched.
+    batch_time:
+        Callable ``b -> service seconds`` for a batch of ``b``.
+    on_departure:
+        Callback per completed request (deployment return leg).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        servers: int,
+        batch_size: int,
+        batch_timeout: float,
+        batch_time: Callable[[int], float],
+        name: str = "batching",
+        on_departure=None,
+    ):
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_timeout < 0:
+            raise ValueError(f"batch_timeout must be >= 0, got {batch_timeout}")
+        self.sim = sim
+        self.name = name
+        self.servers = int(servers)
+        self.batch_size = int(batch_size)
+        self.batch_timeout = float(batch_timeout)
+        self.batch_time = batch_time
+        self.on_departure = on_departure
+        self._busy = 0
+        self._queue: deque[Request] = deque()
+        self.arrivals = 0
+        self.completions = 0
+        self.batches = 0
+        self._batch_sizes: list[int] = []
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a batch slot."""
+        return len(self._queue)
+
+    @property
+    def in_system(self) -> int:
+        """Waiting plus (approximately) in-service requests."""
+        return len(self._queue) + self._busy * self.batch_size
+
+    def mean_batch_size(self) -> float:
+        """Average dispatched batch size so far (0 before any batch)."""
+        if not self._batch_sizes:
+            return 0.0
+        return sum(self._batch_sizes) / len(self._batch_sizes)
+
+    # -- dynamics -----------------------------------------------------------
+    def arrive(self, request: Request) -> None:
+        """Accept a request; may trigger an immediate batch dispatch."""
+        self.arrivals += 1
+        request.arrived = self.sim.now
+        self._queue.append(request)
+        if len(self._queue) == 1 and self.batch_timeout > 0:
+            # This request may end up waiting alone: arm its deadline.
+            self.sim.schedule(self.batch_timeout, self._deadline, request.rid)
+        self._maybe_dispatch()
+
+    def _deadline(self, rid: int) -> None:
+        # Fire only if the request that armed the deadline still waits.
+        if self._queue and self._queue[0].rid == rid:
+            self._maybe_dispatch(force=True)
+
+    def _maybe_dispatch(self, force: bool = False) -> None:
+        while self._busy < self.servers and self._queue:
+            full = len(self._queue) >= self.batch_size
+            aged = force or (
+                self.batch_timeout == 0.0
+                or self.sim.now - self._queue[0].arrived >= self.batch_timeout
+            )
+            if not (full or aged):
+                return
+            b = min(self.batch_size, len(self._queue))
+            batch = [self._queue.popleft() for _ in range(b)]
+            self._busy += 1
+            self.batches += 1
+            self._batch_sizes.append(b)
+            duration = float(self.batch_time(b))
+            for req in batch:
+                req.service_start = self.sim.now
+                req.service_time = duration
+            self.sim.schedule(duration, self._finish, batch)
+            force = False
+            # Re-arm the deadline for the new head of queue, if any.
+            if self._queue and self.batch_timeout > 0:
+                head = self._queue[0]
+                remaining = max(0.0, self.batch_timeout - (self.sim.now - head.arrived))
+                self.sim.schedule(remaining, self._deadline, head.rid)
+
+    def _finish(self, batch: list[Request]) -> None:
+        self._busy -= 1
+        self.completions += len(batch)
+        for req in batch:
+            req.service_end = self.sim.now
+            if self.on_departure is not None:
+                self.on_departure(req)
+        self._maybe_dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchingStation(name={self.name!r}, servers={self.servers}, "
+            f"batch_size={self.batch_size}, queued={len(self._queue)})"
+        )

@@ -1,0 +1,200 @@
+"""Open-loop workload sources (the Gatling stand-in).
+
+The paper's workload generator fires requests at a configured rate (or
+replays a trace) regardless of outstanding responses — an *open-loop*
+driver, which is what exposes queueing delay honestly.  Two sources:
+
+* :class:`OpenLoopSource` — renewal arrivals from an
+  :class:`~repro.workload.arrivals.ArrivalProcess`.
+* :class:`TraceSource` — replays explicit (timestamp, service-time)
+  pairs, used for the Azure-trace experiments (Figs 8–10).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Protocol
+
+import numpy as np
+
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+
+__all__ = ["OpenLoopSource", "ClosedLoopSource", "TraceSource", "Target"]
+
+_GLOBAL_RID = count()
+
+
+class Target(Protocol):
+    """Anything requests can be submitted to (a deployment)."""
+
+    def submit(self, request: Request) -> None: ...
+
+
+class OpenLoopSource:
+    """Generate requests with i.i.d. inter-arrival gaps.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    target:
+        Deployment receiving the requests.
+    interarrival:
+        Distribution of gaps between consecutive requests (seconds);
+        an :class:`~repro.queueing.distributions.Exponential` makes the
+        source Poisson.
+    site:
+        Home-site label stamped on each request (edge routing key).
+    stop_time:
+        No requests are generated at or after this virtual time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        target: Target,
+        interarrival,
+        site: str | None = None,
+        stop_time: float = np.inf,
+    ):
+        self.sim = sim
+        self.target = target
+        self.interarrival = interarrival
+        self.site = site
+        self.stop_time = stop_time
+        self.generated = 0
+        self._rng = sim.spawn_rng()
+        sim.schedule(float(self.interarrival.sample(self._rng)), self._fire)
+
+    def _fire(self) -> None:
+        if self.sim.now >= self.stop_time:
+            return
+        request = Request(next(_GLOBAL_RID), site=self.site, created=self.sim.now)
+        self.generated += 1
+        self.target.submit(request)
+        self.sim.schedule(float(self.interarrival.sample(self._rng)), self._fire)
+
+
+class ClosedLoopSource:
+    """A fixed population of users alternating think time and requests.
+
+    The closed-loop model: each of ``users`` virtual users thinks for an
+    i.i.d. think time, issues one request, waits for its response, and
+    repeats.  Unlike the open-loop sources, offered load *self-throttles*
+    under congestion (at most ``users`` requests are ever outstanding) —
+    the regime interactive applications actually live in, and a useful
+    contrast to the open-loop results (ablation A7).
+
+    The target deployment must expose an ``on_complete`` hook (both
+    built-in deployments do); this source chains onto any existing hook.
+
+    Parameters
+    ----------
+    users:
+        Population size (maximum concurrency).
+    think:
+        Think-time distribution (seconds) between response and next
+        request.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        target,
+        users: int,
+        think,
+        site: str | None = None,
+        stop_time: float = np.inf,
+    ):
+        if users < 1:
+            raise ValueError(f"users must be >= 1, got {users}")
+        if not hasattr(target, "on_complete"):
+            raise TypeError(
+                f"{type(target).__name__} does not expose an on_complete hook"
+            )
+        self.sim = sim
+        self.target = target
+        self.users = int(users)
+        self.think = think
+        self.site = site
+        self.stop_time = stop_time
+        self.generated = 0
+        self._rng = sim.spawn_rng()
+        self._mine: set[int] = set()
+        self._prev_hook = target.on_complete
+        target.on_complete = self._on_complete
+        for _ in range(self.users):
+            sim.schedule(float(self.think.sample(self._rng)), self._send)
+
+    def _send(self) -> None:
+        if self.sim.now >= self.stop_time:
+            return
+        request = Request(next(_GLOBAL_RID), site=self.site, created=self.sim.now)
+        self._mine.add(request.rid)
+        self.generated += 1
+        self.target.submit(request)
+
+    def _on_complete(self, request: Request) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(request)
+        if request.rid in self._mine:
+            self._mine.discard(request.rid)
+            self.sim.schedule(float(self.think.sample(self._rng)), self._send)
+
+
+class TraceSource:
+    """Replay an explicit request trace.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    target:
+        Deployment receiving the requests.
+    arrival_times:
+        Absolute request timestamps (seconds), non-decreasing.
+    service_times:
+        Optional per-request service demands; when given, stations use
+        these instead of sampling (trace-faithful replay).
+    site:
+        Home-site label stamped on each request.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        target: Target,
+        arrival_times,
+        service_times=None,
+        site: str | None = None,
+    ):
+        times = np.asarray(arrival_times, dtype=float)
+        if times.ndim != 1:
+            raise ValueError("arrival_times must be 1-D")
+        if times.size and np.any(np.diff(times) < 0):
+            raise ValueError("arrival_times must be non-decreasing")
+        if times.size and times[0] < sim.now:
+            raise ValueError("trace starts in the past")
+        services = None
+        if service_times is not None:
+            services = np.asarray(service_times, dtype=float)
+            if services.shape != times.shape:
+                raise ValueError(
+                    f"service_times shape {services.shape} != arrival_times shape {times.shape}"
+                )
+            if services.size and services.min() < 0:
+                raise ValueError("service_times must be non-negative")
+        self.sim = sim
+        self.target = target
+        self.site = site
+        self.generated = times.size
+        for i, t in enumerate(times):
+            st = float(services[i]) if services is not None else None
+            sim.schedule_at(float(t), self._fire, st)
+
+    def _fire(self, service_time: float | None) -> None:
+        request = Request(
+            next(_GLOBAL_RID), site=self.site, created=self.sim.now, service_time=service_time
+        )
+        self.target.submit(request)

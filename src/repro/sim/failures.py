@@ -1,0 +1,104 @@
+"""Failure injection: exponential fail/repair cycles on stations.
+
+Edge sites are operationally fragile compared with a hyperscale data
+center — single machines, remote hands, no N+1 within the site.  A
+:class:`FailureInjector` gives each managed station independent
+exponential time-to-failure and time-to-repair, using the graceful
+semantics of :meth:`repro.sim.station.Station.fail` (in-flight work
+finishes, new arrivals queue or drop).  Combined with
+:class:`~repro.mitigation.geo_lb.GeoLoadBalancer` it shows the same
+mechanism that fixes skew also routes around failures (extension E9).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.engine import Simulation
+from repro.sim.station import Station
+
+__all__ = ["FailureInjector"]
+
+
+class FailureInjector:
+    """Independent exponential fail/repair processes per station.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    stations:
+        Stations subject to failures.
+    mtbf:
+        Mean time between failures (seconds of *up* time).
+    mttr:
+        Mean time to repair (seconds of *down* time).
+    stop_time:
+        No new transitions are scheduled at or beyond this time; a
+        station that is down at ``stop_time`` is repaired then (so runs
+        always end serviceable and the calendar drains).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        stations: Sequence[Station],
+        mtbf: float,
+        mttr: float,
+        stop_time: float,
+    ):
+        if not stations:
+            raise ValueError("need at least one station")
+        if mtbf <= 0 or mttr <= 0:
+            raise ValueError(f"mtbf and mttr must be > 0, got {mtbf}, {mttr}")
+        if stop_time <= 0:
+            raise ValueError(f"stop_time must be > 0, got {stop_time}")
+        self.sim = sim
+        self.stations = list(stations)
+        self.mtbf = float(mtbf)
+        self.mttr = float(mttr)
+        self.stop_time = float(stop_time)
+        self.failures = 0
+        self._downtime: dict[str, float] = {s.name: 0.0 for s in self.stations}
+        self._down_since: dict[str, float] = {}
+        self._rng = sim.spawn_rng()
+        for st in self.stations:
+            sim.schedule(float(self._rng.exponential(self.mtbf)), self._fail, st)
+
+    def _fail(self, station: Station) -> None:
+        if self.sim.now >= self.stop_time or station.failed:
+            return
+        station.fail()
+        self.failures += 1
+        self._down_since[station.name] = self.sim.now
+        repair_at = min(
+            self.sim.now + float(self._rng.exponential(self.mttr)), self.stop_time
+        )
+        self.sim.schedule_at(repair_at, self._repair, station)
+
+    def _repair(self, station: Station) -> None:
+        if not station.failed:
+            return
+        station.repair()
+        self._downtime[station.name] += self.sim.now - self._down_since.pop(station.name)
+        next_fail = self.sim.now + float(self._rng.exponential(self.mtbf))
+        if next_fail < self.stop_time:
+            self.sim.schedule_at(next_fail, self._fail, station)
+
+    def availability(self, station_name: str, horizon: float | None = None) -> float:
+        """Fraction of time the named station was up (within ``horizon``)."""
+        if station_name not in self._downtime:
+            raise KeyError(f"unknown station {station_name!r}")
+        end = self.sim.now if horizon is None else float(horizon)
+        if end <= 0:
+            return 1.0
+        down = self._downtime[station_name]
+        if station_name in self._down_since:
+            down += end - self._down_since[station_name]
+        return max(0.0, 1.0 - down / end)
+
+    def mean_availability(self, horizon: float | None = None) -> float:
+        """Fleet-average availability."""
+        return sum(
+            self.availability(s.name, horizon) for s in self.stations
+        ) / len(self.stations)

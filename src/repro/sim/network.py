@@ -1,0 +1,149 @@
+"""Network round-trip latency models.
+
+The paper treats the network as an additive round-trip time per request:
+1 ms to the edge, and ~15 / 25 / 54 / 80 ms to the four cloud locations
+(Section 4.1).  Real WAN RTTs jitter, so besides the constant model we
+provide truncated-normal jitter (typical intra-continental paths) and a
+lognormal model (long-tailed cellular/transit paths).
+
+A model samples *one-way* delays; the two legs of a request are sampled
+independently, so the mean RTT is the configured value.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "NormalJitterLatency",
+    "LognormalLatency",
+]
+
+
+class LatencyModel(ABC):
+    """One-way network delay sampler with a known mean RTT."""
+
+    @property
+    @abstractmethod
+    def mean_rtt(self) -> float:
+        """Mean round-trip time in seconds."""
+
+    @abstractmethod
+    def sample_oneway(self, rng: np.random.Generator) -> float:
+        """Draw one one-way delay in seconds (non-negative)."""
+
+    @property
+    def mean_rtt_ms(self) -> float:
+        """Mean round-trip time in milliseconds (for reports)."""
+        return self.mean_rtt * 1e3
+
+
+class ConstantLatency(LatencyModel):
+    """Deterministic RTT — the paper's idealized network."""
+
+    def __init__(self, rtt: float):
+        if rtt < 0:
+            raise ValueError(f"rtt must be >= 0, got {rtt}")
+        self._rtt = float(rtt)
+
+    @classmethod
+    def from_ms(cls, rtt_ms: float) -> "ConstantLatency":
+        """Construct from an RTT in milliseconds."""
+        return cls(rtt_ms * 1e-3)
+
+    @property
+    def mean_rtt(self) -> float:
+        return self._rtt
+
+    def sample_oneway(self, rng: np.random.Generator) -> float:
+        return self._rtt / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantLatency(rtt={self._rtt * 1e3:.3f} ms)"
+
+
+class NormalJitterLatency(LatencyModel):
+    """RTT with Gaussian jitter truncated at a propagation floor.
+
+    Parameters
+    ----------
+    rtt:
+        Target mean RTT in seconds.
+    jitter_std:
+        Standard deviation of the *one-way* jitter in seconds.
+    floor:
+        Minimum one-way delay (speed-of-light propagation), default 40%
+        of the configured one-way mean.
+    """
+
+    def __init__(self, rtt: float, jitter_std: float, floor: float | None = None):
+        if rtt <= 0:
+            raise ValueError(f"rtt must be > 0, got {rtt}")
+        if jitter_std < 0:
+            raise ValueError(f"jitter_std must be >= 0, got {jitter_std}")
+        self._rtt = float(rtt)
+        self.jitter_std = float(jitter_std)
+        self.floor = 0.4 * rtt / 2.0 if floor is None else float(floor)
+        if self.floor > rtt / 2.0:
+            raise ValueError(f"floor {self.floor} exceeds one-way mean {rtt / 2.0}")
+
+    @classmethod
+    def from_ms(cls, rtt_ms: float, jitter_std_ms: float) -> "NormalJitterLatency":
+        """Construct from millisecond parameters."""
+        return cls(rtt_ms * 1e-3, jitter_std_ms * 1e-3)
+
+    @property
+    def mean_rtt(self) -> float:
+        # Truncation slightly raises the mean; negligible for realistic
+        # jitter (< 1% when jitter_std < 25% of the one-way delay).
+        return self._rtt
+
+    def sample_oneway(self, rng: np.random.Generator) -> float:
+        return max(self.floor, rng.normal(self._rtt / 2.0, self.jitter_std))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NormalJitterLatency(rtt={self._rtt * 1e3:.3f} ms, "
+            f"jitter_std={self.jitter_std * 1e3:.3f} ms)"
+        )
+
+
+class LognormalLatency(LatencyModel):
+    """Long-tailed RTT (cellular / congested transit paths).
+
+    One-way delays are ``floor + LogNormal`` with the lognormal's mean
+    equal to ``(rtt/2 - floor)`` and squared CoV ``cv2``.
+    """
+
+    def __init__(self, rtt: float, cv2: float = 0.25, floor: float | None = None):
+        if rtt <= 0:
+            raise ValueError(f"rtt must be > 0, got {rtt}")
+        if cv2 <= 0:
+            raise ValueError(f"cv2 must be > 0, got {cv2}")
+        self._rtt = float(rtt)
+        self.floor = 0.5 * rtt / 2.0 if floor is None else float(floor)
+        excess = rtt / 2.0 - self.floor
+        if excess <= 0:
+            raise ValueError(f"floor {self.floor} leaves no room under one-way mean")
+        self.cv2 = float(cv2)
+        self._sigma2 = np.log1p(cv2)
+        self._mu = np.log(excess) - self._sigma2 / 2.0
+
+    @classmethod
+    def from_ms(cls, rtt_ms: float, cv2: float = 0.25) -> "LognormalLatency":
+        """Construct from an RTT in milliseconds."""
+        return cls(rtt_ms * 1e-3, cv2)
+
+    @property
+    def mean_rtt(self) -> float:
+        return self._rtt
+
+    def sample_oneway(self, rng: np.random.Generator) -> float:
+        return self.floor + rng.lognormal(self._mu, np.sqrt(self._sigma2))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LognormalLatency(rtt={self._rtt * 1e3:.3f} ms, cv2={self.cv2})"

@@ -1,0 +1,85 @@
+"""Per-request lifecycle record.
+
+Each simulated request carries the timestamps of every stage the paper's
+latency decomposition names (Figure 1): client send, server arrival,
+service start/end, and client receive.  The derived properties give the
+network latency, queueing delay, service time and end-to-end latency —
+the quantities compared in every figure of Section 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Request"]
+
+_UNSET = math.nan
+
+
+class Request:
+    """A single application request traveling client → server → client.
+
+    Timestamps are virtual seconds; ``nan`` means the stage has not
+    happened (yet).  ``service_time`` may be pre-assigned by a trace
+    replay or left for the serving station to sample.
+    """
+
+    __slots__ = (
+        "rid",
+        "site",
+        "created",
+        "arrived",
+        "service_start",
+        "service_end",
+        "completed",
+        "service_time",
+        "redirects",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        site: str | None = None,
+        created: float = _UNSET,
+        service_time: float | None = None,
+    ):
+        self.rid = rid
+        self.site = site
+        self.created = created
+        self.arrived = _UNSET
+        self.service_start = _UNSET
+        self.service_end = _UNSET
+        self.completed = _UNSET
+        self.service_time = service_time
+        self.redirects = 0
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay at the server, :math:`w` in the paper."""
+        return self.service_start - self.arrived
+
+    @property
+    def server_time(self) -> float:
+        """Server latency: queueing delay + service time (:math:`r`)."""
+        return self.service_end - self.arrived
+
+    @property
+    def network_time(self) -> float:
+        """Round-trip network latency (:math:`n`): both wire legs."""
+        return (self.completed - self.created) - self.server_time
+
+    @property
+    def end_to_end(self) -> float:
+        """Total latency :math:`T = n + w + s` (Equations 1–2)."""
+        return self.completed - self.created
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the response has reached the client."""
+        return not math.isnan(self.completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Request(rid={self.rid}, site={self.site!r}, created={self.created:.6f}, "
+            f"complete={self.is_complete})"
+        )

@@ -1,0 +1,221 @@
+"""FCFS multi-server queue station.
+
+A :class:`Station` models one serving location: a single FIFO queue in
+front of ``servers`` identical servers.  With ``servers = 1`` it is the
+paper's edge site; with ``servers = k`` (or `k × cores`) and Poisson
+input it is the paper's cloud central queue (Figure 1b).
+
+The station keeps running time-integrals of busy servers and queue
+length so utilization and mean queue length can be read off exactly, and
+supports run-time capacity changes (used by the autoscaling mitigation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.queueing.distributions import Distribution
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+
+__all__ = ["Station"]
+
+
+class Station:
+    """FCFS queue with ``servers`` parallel servers.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    servers:
+        Initial number of servers (≥ 1).
+    service_dist:
+        Distribution used to sample service times for requests that do
+        not carry a pre-assigned ``service_time`` (trace replays do).
+    name:
+        Identifier used in request logs and repr.
+    on_departure:
+        Callback invoked with each request when its service completes
+        (the deployment layer uses it to schedule the return network leg).
+    queue_capacity:
+        Maximum number of *waiting* requests (an M/M/c/K-style bound
+        with K = servers + queue_capacity).  ``None`` (default) is an
+        unbounded queue.  Arrivals past the bound are dropped — the
+        paper's observed behaviour of the real stack at saturation
+        ("starts dropping requests or thrashing").
+    on_drop:
+        Callback invoked with each dropped request.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        servers: int,
+        service_dist: Distribution | None = None,
+        name: str = "station",
+        on_departure: Callable[[Request], None] | None = None,
+        queue_capacity: int | None = None,
+        on_drop: Callable[[Request], None] | None = None,
+    ):
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        if queue_capacity is not None and queue_capacity < 0:
+            raise ValueError(f"queue_capacity must be >= 0, got {queue_capacity}")
+        self.sim = sim
+        self.name = name
+        self.service_dist = service_dist
+        self.on_departure = on_departure
+        self.queue_capacity = queue_capacity
+        self.on_drop = on_drop
+        self.drops = 0
+        self._servers = int(servers)
+        self._busy = 0
+        self._failed = False
+        self._queue: deque[Request] = deque()
+        self._rng = sim.spawn_rng()
+        # Exact time-integral accounting for utilization / queue length.
+        self._last_change = sim.now
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self.arrivals = 0
+        self.completions = 0
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def servers(self) -> int:
+        """Current number of servers."""
+        return self._servers
+
+    @property
+    def busy(self) -> int:
+        """Servers currently serving a request."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting (not in service)."""
+        return len(self._queue)
+
+    @property
+    def in_system(self) -> int:
+        """Requests waiting or in service."""
+        return self._busy + len(self._queue)
+
+    @property
+    def failed(self) -> bool:
+        """True while the station is down (queues but does not serve)."""
+        return self._failed
+
+    def backlog_work(self) -> float:
+        """Approximate unfinished work in seconds (for least-work dispatch).
+
+        Sum of queued requests' (known or expected) service demands; the
+        residual of in-service requests is approximated by half a mean
+        service time each, which is exact in expectation for exponential
+        service and a good proxy otherwise.
+        """
+        mean = self.service_dist.mean if self.service_dist is not None else 0.0
+        queued = sum(r.service_time if r.service_time is not None else mean for r in self._queue)
+        return queued + 0.5 * mean * self._busy
+
+    # -- dynamics --------------------------------------------------------
+    def arrive(self, request: Request) -> None:
+        """Accept (or drop) a request at the current virtual time."""
+        self._account()
+        self.arrivals += 1
+        request.arrived = self.sim.now
+        if not self._failed and self._busy < self._servers:
+            self._start(request)
+        elif self.queue_capacity is None or len(self._queue) < self.queue_capacity:
+            self._queue.append(request)
+        else:
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(request)
+
+    def set_servers(self, servers: int) -> None:
+        """Change capacity at run time.
+
+        Increasing capacity immediately starts queued requests; when
+        decreasing, in-flight services finish normally and the station
+        simply stops refilling above the new limit (graceful drain).
+        """
+        if servers < 1:
+            raise ValueError(f"servers must be >= 1, got {servers}")
+        self._account()
+        self._servers = int(servers)
+        while not self._failed and self._queue and self._busy < self._servers:
+            self._start(self._queue.popleft())
+
+    def _start(self, request: Request) -> None:
+        self._busy += 1
+        request.service_start = self.sim.now
+        if request.service_time is None:
+            if self.service_dist is None:
+                raise ValueError(
+                    f"station {self.name!r} has no service distribution and request "
+                    f"{request.rid} carries no service_time"
+                )
+            request.service_time = float(self.service_dist.sample(self._rng))
+        self.sim.schedule(request.service_time, self._finish, request)
+
+    def _finish(self, request: Request) -> None:
+        self._account()
+        self._busy -= 1
+        self.completions += 1
+        request.service_end = self.sim.now
+        if not self._failed and self._queue and self._busy < self._servers:
+            self._start(self._queue.popleft())
+        if self.on_departure is not None:
+            self.on_departure(request)
+
+    def fail(self) -> None:
+        """Take the station down: no new service starts; in-flight work
+        completes (graceful-degradation semantics) and arrivals queue
+        (or drop, if a queue bound is configured)."""
+        self._account()
+        self._failed = True
+
+    def repair(self) -> None:
+        """Bring the station back and immediately drain the backlog."""
+        self._account()
+        self._failed = False
+        while self._queue and self._busy < self._servers:
+            self._start(self._queue.popleft())
+
+    # -- statistics ------------------------------------------------------
+    def _account(self) -> None:
+        dt = self.sim.now - self._last_change
+        if dt > 0:
+            self._busy_integral += dt * self._busy
+            self._queue_integral += dt * len(self._queue)
+            self._last_change = self.sim.now
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of arrivals dropped (0 for unbounded queues)."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.drops / self.arrivals
+
+    def utilization(self) -> float:
+        """Time-average fraction of busy servers since t=0."""
+        self._account()
+        if self.sim.now == 0.0:
+            return 0.0
+        return self._busy_integral / (self.sim.now * self._servers)
+
+    def mean_queue_length(self) -> float:
+        """Time-average number of waiting requests since t=0."""
+        self._account()
+        if self.sim.now == 0.0:
+            return 0.0
+        return self._queue_integral / self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Station(name={self.name!r}, servers={self._servers}, busy={self._busy}, "
+            f"queued={len(self._queue)})"
+        )

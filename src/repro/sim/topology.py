@@ -1,0 +1,221 @@
+"""Edge and cloud deployment topologies.
+
+Two deployment shapes mirror Figure 1 of the paper:
+
+* :class:`EdgeDeployment` — k geo-distributed sites, each a nearby
+  station behind a low-latency link; a request is served by the site its
+  client is attached to (optionally redirected by a
+  :class:`SiteRouter`, the hook used by geographic load balancing).
+* :class:`CloudDeployment` — a distant data center: either one pooled
+  central-queue station (the paper's analytic M/M/k model) or multiple
+  per-server stations behind a dispatch policy (the HAProxy reality).
+
+Both share a submit → (wire out) → queue/serve → (wire back) → log
+pipeline; the deployment, not the station, owns the network legs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.queueing.distributions import Distribution
+from repro.sim.engine import Simulation
+from repro.sim.loadbalancer import DispatchPolicy
+from repro.sim.network import LatencyModel
+from repro.sim.request import Request
+from repro.sim.station import Station
+from repro.sim.tracing import RequestLog
+
+__all__ = ["EdgeSite", "EdgeDeployment", "CloudDeployment", "SiteRouter"]
+
+
+class SiteRouter(Protocol):
+    """Policy hook that may re-route a request away from its home site.
+
+    Implementations return the serving site and the extra one-way delay
+    (seconds) incurred by the redirection (e.g. the inter-site hop of
+    geographic load balancing).  Returning the home site with 0.0 keeps
+    the default behaviour.
+    """
+
+    def route(
+        self, deployment: "EdgeDeployment", request: Request, home: "EdgeSite"
+    ) -> tuple["EdgeSite", float]: ...
+
+
+class EdgeSite:
+    """One edge location: a station reached over a short link."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        servers: int,
+        latency: LatencyModel,
+        service_dist: Distribution | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.latency = latency
+        self.station = Station(sim, servers, service_dist, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeSite(name={self.name!r}, servers={self.station.servers})"
+
+
+class EdgeDeployment:
+    """k edge sites, each serving its locally attached clients.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    sites:
+        The edge sites.  Requests carry the name of their home site.
+    router:
+        Optional redirection policy (geographic load balancing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        sites: Sequence[EdgeSite],
+        router: SiteRouter | None = None,
+    ):
+        if not sites:
+            raise ValueError("need at least one edge site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names: {names}")
+        self.sim = sim
+        self.sites = list(sites)
+        self.by_name = {s.name: s for s in self.sites}
+        self.router = router
+        self.log = RequestLog()
+        self.on_complete = None  # optional hook: called with each finished request
+        self._rng = sim.spawn_rng()
+        for site in self.sites:
+            site.station.on_departure = self._on_departure
+            # Map station back to its site for the return wire leg.
+            site.station.site_ref = site  # type: ignore[attr-defined]
+
+    def submit(self, request: Request) -> None:
+        """Send a request from its client toward its home edge site."""
+        home = self.by_name.get(request.site)
+        if home is None:
+            raise KeyError(f"request {request.rid} names unknown site {request.site!r}")
+        extra = 0.0
+        site = home
+        if self.router is not None:
+            site, extra = self.router.route(self, request, home)
+            if site is not home:
+                request.redirects += 1
+                request.site = site.name
+        delay = site.latency.sample_oneway(self._rng) + extra
+        self.sim.schedule(delay, site.station.arrive, request)
+
+    def _on_departure(self, request: Request) -> None:
+        site = self.by_name[request.site]
+        delay = site.latency.sample_oneway(self._rng)
+        self.sim.schedule(delay, self._complete, request)
+
+    def _complete(self, request: Request) -> None:
+        request.completed = self.sim.now
+        self.log.add(request)
+        if self.on_complete is not None:
+            self.on_complete(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeDeployment(sites={[s.name for s in self.sites]})"
+
+
+class CloudDeployment:
+    """A distant cloud data center serving the aggregate workload.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulation.
+    servers:
+        Total cloud servers (the paper's k, times cores per server if the
+        service model is per-core).
+    latency:
+        Client ↔ cloud network model (same for all clients, as in the
+        paper where one region hosts the workload generator).
+    service_dist:
+        Service-time distribution for requests without pre-assigned times.
+    policy:
+        ``None`` models the ideal central queue (one station with all
+        servers — the paper's M/M/k).  A :class:`DispatchPolicy` models a
+        load balancer in front of ``backends`` per-backend stations.
+    backends:
+        Number of backend stations when ``policy`` is given; ``servers``
+        must divide evenly among them.
+    lb_overhead:
+        Extra one-way delay (seconds) of the load-balancer hop the
+        cloud path crosses and the edge path does not (HAProxy in the
+        paper's setup); applied on the inbound leg.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        servers: int,
+        latency: LatencyModel,
+        service_dist: Distribution | None = None,
+        policy: DispatchPolicy | None = None,
+        backends: int | None = None,
+        lb_overhead: float = 0.0,
+    ):
+        if lb_overhead < 0:
+            raise ValueError(f"lb_overhead must be >= 0, got {lb_overhead}")
+        self.sim = sim
+        self.latency = latency
+        self.policy = policy
+        self.lb_overhead = float(lb_overhead)
+        self.log = RequestLog()
+        self.on_complete = None  # optional hook: called with each finished request
+        self._rng = sim.spawn_rng()
+        if policy is None:
+            self.stations = [
+                Station(sim, servers, service_dist, name="cloud", on_departure=self._on_departure)
+            ]
+        else:
+            if backends is None:
+                raise ValueError("backends is required when a dispatch policy is given")
+            if servers % backends != 0:
+                raise ValueError(f"servers ({servers}) must divide evenly among {backends} backends")
+            per = servers // backends
+            self.stations = [
+                Station(
+                    sim, per, service_dist, name=f"cloud-{i}", on_departure=self._on_departure
+                )
+                for i in range(backends)
+            ]
+
+    def submit(self, request: Request) -> None:
+        """Send a request from its client toward the cloud."""
+        delay = self.latency.sample_oneway(self._rng) + self.lb_overhead
+        self.sim.schedule(delay, self._dispatch, request)
+
+    def _dispatch(self, request: Request) -> None:
+        if self.policy is None:
+            station = self.stations[0]
+        else:
+            station = self.policy.choose(self.stations, self._rng)
+        station.arrive(request)
+
+    def _on_departure(self, request: Request) -> None:
+        delay = self.latency.sample_oneway(self._rng)
+        self.sim.schedule(delay, self._complete, request)
+
+    def _complete(self, request: Request) -> None:
+        request.completed = self.sim.now
+        self.log.add(request)
+        if self.on_complete is not None:
+            self.on_complete(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "central-queue" if self.policy is None else type(self.policy).__name__
+        total = sum(s.servers for s in self.stations)
+        return f"CloudDeployment(servers={total}, dispatch={kind})"

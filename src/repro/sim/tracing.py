@@ -1,0 +1,103 @@
+"""Request-level metrics collection.
+
+:class:`RequestLog` accumulates completed requests and converts them to
+NumPy arrays on demand; :class:`LatencyBreakdown` is the columnar view
+(one array per latency component) used by the stats and experiments
+layers.  Keeping collection on the simulation's hot path allocation-free
+(append to lists, convert lazily) matters: tracing is the second-hottest
+code after the event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.request import Request
+
+__all__ = ["RequestLog", "LatencyBreakdown"]
+
+
+@dataclass
+class LatencyBreakdown:
+    """Columnar latency components for a set of completed requests.
+
+    All arrays are aligned (same order, same length) and in seconds.
+    """
+
+    created: np.ndarray
+    end_to_end: np.ndarray
+    wait: np.ndarray
+    service: np.ndarray
+    network: np.ndarray
+    site: np.ndarray  # dtype=object (site names), aligned with the rest
+
+    def __len__(self) -> int:
+        return self.end_to_end.size
+
+    def after(self, t: float) -> "LatencyBreakdown":
+        """Return the subset of requests created at or after time ``t``.
+
+        Used to trim warm-up transients before computing statistics.
+        """
+        mask = self.created >= t
+        return LatencyBreakdown(
+            created=self.created[mask],
+            end_to_end=self.end_to_end[mask],
+            wait=self.wait[mask],
+            service=self.service[mask],
+            network=self.network[mask],
+            site=self.site[mask],
+        )
+
+    def for_site(self, site: str) -> "LatencyBreakdown":
+        """Return the subset of requests served by ``site``."""
+        mask = self.site == site
+        return LatencyBreakdown(
+            created=self.created[mask],
+            end_to_end=self.end_to_end[mask],
+            wait=self.wait[mask],
+            service=self.service[mask],
+            network=self.network[mask],
+            site=self.site[mask],
+        )
+
+    @property
+    def sites(self) -> list[str]:
+        """Distinct site names present, sorted."""
+        return sorted(set(self.site.tolist()))
+
+
+@dataclass
+class RequestLog:
+    """Sink for completed requests."""
+
+    requests: list[Request] = field(default_factory=list)
+
+    def add(self, request: Request) -> None:
+        """Record a completed request."""
+        if not request.is_complete:
+            raise ValueError(f"request {request.rid} has not completed")
+        self.requests.append(request)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def breakdown(self) -> LatencyBreakdown:
+        """Materialize the columnar latency view."""
+        n = len(self.requests)
+        created = np.empty(n)
+        e2e = np.empty(n)
+        wait = np.empty(n)
+        service = np.empty(n)
+        network = np.empty(n)
+        site = np.empty(n, dtype=object)
+        for i, r in enumerate(self.requests):
+            created[i] = r.created
+            e2e[i] = r.end_to_end
+            wait[i] = r.wait
+            service[i] = r.service_time
+            network[i] = r.network_time
+            site[i] = r.site
+        return LatencyBreakdown(created, e2e, wait, service, network, site)

@@ -1,0 +1,24 @@
+"""Measurement utilities: summaries, time series, CIs, warm-up trimming."""
+
+from repro.stats.ci import batch_means_ci
+from repro.stats.replications import (
+    ReplicationSummary,
+    replicate,
+    replications_for_precision,
+)
+from repro.stats.summary import LatencySummary, summarize
+from repro.stats.timeseries import windowed_mean, windowed_percentile
+from repro.stats.warmup import mser_cutoff, trim_warmup
+
+__all__ = [
+    "LatencySummary",
+    "summarize",
+    "windowed_mean",
+    "windowed_percentile",
+    "batch_means_ci",
+    "mser_cutoff",
+    "trim_warmup",
+    "ReplicationSummary",
+    "replicate",
+    "replications_for_precision",
+]

@@ -1,0 +1,145 @@
+"""Independent-replications analysis for simulation experiments.
+
+Batch means (:mod:`repro.stats.ci`) handles within-run autocorrelation;
+the complementary technique is R *independent replications* with
+different seeds, which also captures across-run variability (different
+random paths through the warm-up and rare-event structure).  This
+module provides:
+
+* :func:`replicate` — run a seeded experiment R times and collect a
+  statistic per run;
+* :class:`ReplicationSummary` — mean, Student-t CI and relative
+  half-width of the replicate statistics;
+* :func:`replications_for_precision` — the standard sequential rule:
+  keep adding replications until the CI's relative half-width is below
+  a target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["ReplicationSummary", "replicate", "replications_for_precision"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Aggregate of one statistic over independent replications."""
+
+    values: tuple[float, ...]
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        """Number of replications."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Grand mean over replications."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation across replications."""
+        if self.n < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def half_width(self) -> float:
+        """Student-t CI half-width at the configured confidence."""
+        if self.n < 2:
+            return math.inf
+        t = float(sps.t.ppf(0.5 + self.confidence / 2.0, self.n - 1))
+        return t * self.std / math.sqrt(self.n)
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width relative to the mean (∞ for a zero mean)."""
+        if self.mean == 0.0:
+            return math.inf
+        return self.half_width / abs(self.mean)
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the confidence interval."""
+        return abs(value - self.mean) <= self.half_width
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.3g} "
+            f"({self.confidence:.0%} CI, n={self.n})"
+        )
+
+
+def replicate(
+    experiment: Callable[[int], float],
+    replications: int,
+    *,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+) -> ReplicationSummary:
+    """Run ``experiment(seed)`` for R distinct seeds and aggregate.
+
+    Parameters
+    ----------
+    experiment:
+        Callable mapping a seed to a scalar statistic (e.g. a run's mean
+        latency).
+    replications:
+        Number of independent runs (≥ 2 for a usable CI).
+    base_seed:
+        Seeds are ``base_seed, base_seed+1, …`` — distinct by
+        construction.
+    """
+    if replications < 2:
+        raise ValueError(f"replications must be >= 2, got {replications}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    values = tuple(float(experiment(base_seed + r)) for r in range(replications))
+    return ReplicationSummary(values=values, confidence=confidence)
+
+
+def replications_for_precision(
+    experiment: Callable[[int], float],
+    target_relative_half_width: float,
+    *,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+    initial: int = 5,
+    max_replications: int = 100,
+) -> ReplicationSummary:
+    """Sequentially add replications until the CI is tight enough.
+
+    The classic two-stage/sequential procedure: start with ``initial``
+    runs, then add one at a time while the relative half-width exceeds
+    the target.
+
+    Raises
+    ------
+    RuntimeError
+        If the precision target is not reached within
+        ``max_replications`` runs.
+    """
+    if target_relative_half_width <= 0:
+        raise ValueError(
+            f"target_relative_half_width must be > 0, got {target_relative_half_width}"
+        )
+    if not 2 <= initial <= max_replications:
+        raise ValueError("need 2 <= initial <= max_replications")
+    values = [float(experiment(base_seed + r)) for r in range(initial)]
+    while True:
+        summary = ReplicationSummary(values=tuple(values), confidence=confidence)
+        if summary.relative_half_width <= target_relative_half_width:
+            return summary
+        if len(values) >= max_replications:
+            raise RuntimeError(
+                f"precision {target_relative_half_width} not reached after "
+                f"{max_replications} replications (at {summary.relative_half_width:.3g})"
+            )
+        values.append(float(experiment(base_seed + len(values))))

@@ -1,0 +1,153 @@
+"""Workload characterization: the inputs the inversion bounds need.
+
+Before applying Lemma 3.2 or 3.3 to a real workload an operator must
+estimate its parameters: the mean rate, the inter-arrival and service
+squared CoVs, the burstiness beyond renewal structure, and the spatial
+skew across sites.  This module computes all of them from a
+:class:`~repro.workload.trace.RequestTrace` (or a set of per-site
+traces) with the estimators standard in the teletraffic literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.trace import RequestTrace
+
+__all__ = ["WorkloadProfile", "characterize", "spatial_skew_profile", "index_of_dispersion"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Summary parameters of one request trace.
+
+    Attributes
+    ----------
+    requests / duration / mean_rate:
+        Basic volume figures (rate in req/s).
+    interarrival_cv2:
+        Squared CoV of gaps — the :math:`c_A^2` of Lemma 3.2.
+    service_cv2:
+        Squared CoV of service demands (:math:`c_B^2`), ``None`` when
+        the trace carries no service times.
+    mean_service:
+        Mean service demand in seconds (``None`` without service times).
+    peak_to_mean:
+        Max windowed rate over mean rate (flash-crowd indicator).
+    dispersion:
+        Index of dispersion for counts at the analysis window —
+        1 for Poisson, > 1 for bursty/correlated arrivals (captures
+        correlation that :math:`c_A^2` alone misses).
+    window:
+        Analysis window (seconds) used for the windowed statistics.
+    """
+
+    requests: int
+    duration: float
+    mean_rate: float
+    interarrival_cv2: float
+    service_cv2: float | None
+    mean_service: float | None
+    peak_to_mean: float
+    dispersion: float
+    window: float
+
+    def suggests_poisson(self, tolerance: float = 0.2) -> bool:
+        """True when both c_A² and the dispersion are near 1."""
+        return (
+            abs(self.interarrival_cv2 - 1.0) <= tolerance
+            and abs(self.dispersion - 1.0) <= 2 * tolerance
+        )
+
+
+def index_of_dispersion(trace: RequestTrace, window: float) -> float:
+    """Variance-to-mean ratio of per-window counts (IDC at ``window``).
+
+    Equals 1 for a Poisson process at any window; sustained values
+    above 1 indicate burstiness/correlation at that timescale.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    if len(trace) < 2:
+        raise ValueError("need at least 2 arrivals")
+    # Only complete windows: a trailing partial window would add spurious
+    # variance (its count is low purely because it is short).
+    n_full = int(trace.arrival_times[-1] // window)
+    if n_full < 2:
+        raise ValueError(
+            f"trace spans fewer than 2 complete windows of {window} s; "
+            "use a smaller window"
+        )
+    _, rates = trace.windowed_rates(window, horizon=n_full * window)
+    counts = rates * window
+    mean = counts.mean()
+    if mean == 0:
+        return 0.0
+    return float(counts.var() / mean)
+
+
+def characterize(trace: RequestTrace, window: float = 60.0) -> WorkloadProfile:
+    """Compute a :class:`WorkloadProfile` from a trace.
+
+    Raises
+    ------
+    ValueError
+        For traces with fewer than 3 arrivals (no meaningful CoV).
+    """
+    if len(trace) < 3:
+        raise ValueError(f"need at least 3 arrivals, got {len(trace)}")
+    _, rates = trace.windowed_rates(window)
+    valid = rates[~np.isnan(rates)]
+    mean_rate = trace.mean_rate
+    peak_to_mean = float(valid.max() / mean_rate) if mean_rate > 0 else 0.0
+    service_cv2 = None
+    mean_service = None
+    if trace.service_times is not None and trace.service_times.size:
+        s = trace.service_times
+        mean_service = float(s.mean())
+        service_cv2 = float(s.var() / mean_service**2) if mean_service > 0 else 0.0
+    return WorkloadProfile(
+        requests=len(trace),
+        duration=trace.duration,
+        mean_rate=mean_rate,
+        interarrival_cv2=trace.interarrival_cv2(),
+        service_cv2=service_cv2,
+        mean_service=mean_service,
+        peak_to_mean=peak_to_mean,
+        dispersion=index_of_dispersion(trace, window),
+        window=window,
+    )
+
+
+def spatial_skew_profile(site_traces: list[RequestTrace]) -> dict[str, float]:
+    """Spatial-skew summary across per-site traces.
+
+    Returns the per-site demand weights' CoV, max/mean ratio, and the
+    weight vector's deviation from balance measured as the ratio of
+    Lemma 3.3's weighted wait factor to the balanced one at a reference
+    mean utilization of 0.5 — a single "how much worse does skew make
+    the edge" number.  Per-site utilizations are capped at 0.95 so a
+    site that would outright overload at the reference point saturates
+    the factor instead of blowing it up.
+    """
+    if not site_traces:
+        raise ValueError("need at least one site trace")
+    rates = np.array([t.mean_rate for t in site_traces], dtype=float)
+    total = rates.sum()
+    if total <= 0:
+        raise ValueError("total rate must be positive")
+    w = rates / total
+    k = len(site_traces)
+    rho_ref = 0.5
+    # Weighted mean of 1/(1 - rho_i) with rho_i proportional to weights,
+    # normalized so balanced weights give exactly 1/(1 - rho_ref).
+    rho_i = np.minimum(0.95, rho_ref * k * w)
+    weighted = float(np.dot(w, 1.0 / (1.0 - rho_i)))
+    balanced = 1.0 / (1.0 - rho_ref)
+    return {
+        "site_cv": float(rates.std() / rates.mean()),
+        "max_over_mean": float(rates.max() / rates.mean()),
+        "skew_wait_factor": weighted / balanced,
+    }

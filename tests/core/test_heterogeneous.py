@@ -1,0 +1,114 @@
+"""Tests for the resource-constrained-edge analysis (§3.1.1 discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inversion import (
+    inversion_rate_heterogeneous,
+    response_difference_heterogeneous,
+)
+from repro.sim.fastsim import simulate_fcfs_queue
+
+MU_CLOUD = 13.0
+DELTA_N = 0.023  # typical cloud
+
+
+class TestResponseDifference:
+    def test_equal_hardware_k1_never_positive(self):
+        """Paper: with identical servers, k=1 means identical systems."""
+        for rate in (2.0, 6.0, 10.0, 12.0):
+            d = response_difference_heterogeneous(
+                rate, MU_CLOUD, MU_CLOUD, 1, 1, 1
+            )
+            assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_slower_edge_positive_even_at_k1(self):
+        """Slower edge hardware makes the gap positive at any load."""
+        d = response_difference_heterogeneous(
+            2.0, MU_CLOUD / 1.5, MU_CLOUD, 1, 1, 1
+        )
+        assert d > 0
+
+    def test_gap_grows_with_load(self):
+        mu_e = MU_CLOUD / 1.5
+        d_lo = response_difference_heterogeneous(2.0, mu_e, MU_CLOUD, 1, 1, 1)
+        d_hi = response_difference_heterogeneous(8.0, mu_e, MU_CLOUD, 1, 1, 1)
+        assert d_hi > d_lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response_difference_heterogeneous(0.0, 10.0, 13.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            response_difference_heterogeneous(1.0, 0.0, 13.0, 1, 1, 1)
+
+
+class TestInversionRate:
+    def test_equal_hardware_k1_never_inverts(self):
+        """Corollary 3.1.1's k=1 special case: rho* > 1, i.e. never."""
+        assert inversion_rate_heterogeneous(
+            DELTA_N, MU_CLOUD, MU_CLOUD, 1, 1, 1
+        ) is None
+
+    def test_slow_edge_inverts_at_k1(self):
+        """The paper's §3.1.1 claim: a weaker edge server inverts even
+        with a single site.  A 1.2x slowdown keeps the pure service gap
+        (15 ms) below delta_n (23 ms), so queueing decides — at some
+        positive rate the inversion kicks in."""
+        rate = inversion_rate_heterogeneous(
+            DELTA_N, MU_CLOUD / 1.2, MU_CLOUD, 1, 1, 1
+        )
+        assert rate is not None
+        assert 0.0 < rate < MU_CLOUD / 1.2
+
+    def test_moderately_slow_edge_always_loses_at_k1(self):
+        """A 1.5x slowdown's service gap (38 ms) alone exceeds delta_n:
+        the edge loses at any utilization."""
+        assert inversion_rate_heterogeneous(
+            DELTA_N, MU_CLOUD / 1.5, MU_CLOUD, 1, 1, 1
+        ) == 0.0
+
+    def test_very_slow_edge_always_loses(self):
+        """When the service-time gap alone exceeds delta_n, rate* = 0."""
+        # s_e - s_c = 1/4 - 1/13 = 0.173 s >> 23 ms.
+        rate = inversion_rate_heterogeneous(DELTA_N, 4.0, MU_CLOUD, 1, 1, 1)
+        assert rate == 0.0
+
+    def test_multi_site_slow_edge_inverts_earlier(self):
+        """Hardware penalty compounds the pooling penalty (k > 1)."""
+        same = inversion_rate_heterogeneous(DELTA_N, MU_CLOUD, MU_CLOUD, 1, 5, 5)
+        slow = inversion_rate_heterogeneous(DELTA_N, MU_CLOUD / 1.2, MU_CLOUD, 1, 5, 5)
+        assert same is not None and slow is not None
+        assert slow < same
+
+    def test_solution_is_a_fixed_point(self):
+        mu_e = MU_CLOUD / 1.15
+        rate = inversion_rate_heterogeneous(DELTA_N, mu_e, MU_CLOUD, 1, 5, 5)
+        assert rate is not None and rate > 0
+        gap = response_difference_heterogeneous(rate, mu_e, MU_CLOUD, 1, 5, 5)
+        assert gap == pytest.approx(DELTA_N, rel=1e-6)
+
+    def test_matches_simulation(self):
+        """The analytic heterogeneous crossover agrees with simulation."""
+        mu_e = MU_CLOUD / 1.15
+        rate_star = inversion_rate_heterogeneous(DELTA_N, mu_e, MU_CLOUD, 1, 5, 5)
+        assert rate_star is not None and rate_star > 1.0
+        rng = np.random.default_rng(7)
+        n = 200_000
+
+        def gap_at(rate):
+            edge_resp = []
+            for _ in range(5):
+                a = np.cumsum(rng.exponential(1.0 / rate, n))
+                s = rng.exponential(1.0 / mu_e, n)
+                edge_resp.append(simulate_fcfs_queue(a, s, 1) + s)
+            a = np.cumsum(rng.exponential(1.0 / (5 * rate), 5 * n))
+            s = rng.exponential(1.0 / MU_CLOUD, 5 * n)
+            cloud_resp = simulate_fcfs_queue(a, s, 5) + s
+            return float(np.concatenate(edge_resp).mean() - cloud_resp.mean()) - DELTA_N
+
+        assert gap_at(max(0.5, rate_star - 1.0)) < 0
+        assert gap_at(rate_star + 1.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inversion_rate_heterogeneous(0.0, 10.0, 13.0, 1, 1, 1)

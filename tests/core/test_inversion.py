@@ -1,0 +1,248 @@
+"""Tests for the Section 3 inversion bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inversion import (
+    calibrate_time_unit,
+    cutoff_utilization_exact,
+    cutoff_utilization_limit,
+    cutoff_utilization_paper,
+    delta_n_threshold_gg,
+    delta_n_threshold_gg_limit,
+    delta_n_threshold_mm,
+    delta_n_threshold_skewed,
+    is_inverted_mm,
+    mean_wait_difference,
+    min_cloud_rtt_for_edge_win,
+)
+from repro.queueing.mmk import MMk
+
+
+class TestLemma31:
+    def test_matches_paper_formula(self):
+        # sqrt(2) * (1/(1-rho_e) - 1/(sqrt(k)(1-rho_c)))
+        rho_e, rho_c, k = 0.8, 0.6, 9
+        expected = math.sqrt(2) * (1 / (1 - rho_e) - 1 / (3 * (1 - rho_c)))
+        assert delta_n_threshold_mm(rho_e, rho_c, k) == pytest.approx(expected)
+
+    def test_time_unit_scales(self):
+        base = delta_n_threshold_mm(0.8, 0.8, 4)
+        assert delta_n_threshold_mm(0.8, 0.8, 4, time_unit=0.077) == pytest.approx(
+            base * 0.077
+        )
+
+    @given(
+        rho=st.floats(min_value=0.01, max_value=0.98),
+        k=st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=150)
+    def test_threshold_positive_when_cloud_pools_more(self, rho, k):
+        """Balanced load, k>1: the edge always has the larger wait term."""
+        assert delta_n_threshold_mm(rho, rho, k) > 0
+
+    @given(rho=st.floats(min_value=0.01, max_value=0.98))
+    @settings(max_examples=50)
+    def test_single_server_cloud_gives_zero_threshold(self, rho):
+        """k=1 balanced: edge and cloud identical -> no inversion ever."""
+        assert delta_n_threshold_mm(rho, rho, 1) == pytest.approx(0.0)
+
+    @given(
+        rho=st.floats(min_value=0.5, max_value=0.95),
+        k=st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=100)
+    def test_threshold_grows_with_utilization(self, rho, k):
+        lo = delta_n_threshold_mm(rho - 0.2, rho - 0.2, k)
+        hi = delta_n_threshold_mm(rho, rho, k)
+        assert hi > lo
+
+    def test_bigger_edge_sites_shrink_threshold(self):
+        small = delta_n_threshold_mm(0.8, 0.8, 16, edge_servers=1)
+        big = delta_n_threshold_mm(0.8, 0.8, 16, edge_servers=4)
+        assert big < small
+
+    def test_corollary_313_is_lemma_with_zero_edge_rtt(self):
+        assert min_cloud_rtt_for_edge_win(0.8, 0.7, 9) == pytest.approx(
+            delta_n_threshold_mm(0.8, 0.7, 9)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delta_n_threshold_mm(1.0, 0.5, 4)
+        with pytest.raises(ValueError):
+            delta_n_threshold_mm(0.5, 0.5, 0)
+        with pytest.raises(ValueError):
+            delta_n_threshold_mm(0.5, 0.5, 4, time_unit=0.0)
+
+
+class TestCorollary311:
+    def test_closed_form(self):
+        # rho* = 1 - sqrt(2)/dn * (1 - 1/sqrt(k))
+        dn, k = 3.0, 4
+        expected = 1 - math.sqrt(2) / dn * (1 - 0.5)
+        assert cutoff_utilization_paper(dn, k) == pytest.approx(expected)
+
+    def test_k1_never_inverts(self):
+        """The paper's single-site discussion: rho* = 1 for k = 1."""
+        assert cutoff_utilization_paper(5.0, 1) == 1.0
+
+    def test_edge_pool_at_least_cloud_pool_never_inverts(self):
+        assert cutoff_utilization_paper(5.0, 4, edge_servers=4) == 1.0
+        assert cutoff_utilization_paper(5.0, 4, edge_servers=8) == 1.0
+
+    def test_clamped_at_zero_for_tiny_delta_n(self):
+        assert cutoff_utilization_paper(1e-6, 100) == 0.0
+
+    @given(
+        dn=st.floats(min_value=0.5, max_value=50.0),
+        k=st.integers(min_value=2, max_value=200),
+    )
+    @settings(max_examples=150)
+    def test_monotone_in_delta_n_and_k(self, dn, k):
+        base = cutoff_utilization_paper(dn, k)
+        assert cutoff_utilization_paper(dn * 2, k) >= base
+        assert cutoff_utilization_paper(dn, k + 10) <= base + 1e-12
+
+    def test_corollary_312_limit(self):
+        """As k grows the cutoff approaches 1 - sqrt(2)/dn."""
+        dn = 4.0
+        limit = cutoff_utilization_limit(dn)
+        assert cutoff_utilization_paper(dn, 10_000) == pytest.approx(limit, abs=1e-2)
+        assert limit == pytest.approx(1 - math.sqrt(2) / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cutoff_utilization_paper(0.0, 4)
+        with pytest.raises(ValueError):
+            cutoff_utilization_limit(-1.0)
+
+
+class TestCalibration:
+    def test_roundtrip(self):
+        unit = calibrate_time_unit(0.030, 5, 0.64)
+        assert cutoff_utilization_paper(0.030, 5, time_unit=unit) == pytest.approx(0.64)
+
+    def test_papers_two_anchors_agree(self):
+        """The paper's §4.2 anchors imply a consistent time unit.
+
+        k=5 with 1 server/site at Δn≈30ms gives ρ*=0.64; k=10 with
+        2 servers/site gives ρ*=0.75.  Both solve to the same unit
+        within ~2%, confirming our reading of the formula's units.
+        """
+        u5 = calibrate_time_unit(0.030, 5, 0.64, edge_servers=1)
+        u10 = calibrate_time_unit(0.030, 10, 0.75, edge_servers=2)
+        assert u5 == pytest.approx(u10, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_time_unit(0.030, 5, 1.0)
+        with pytest.raises(ValueError):
+            calibrate_time_unit(0.0, 5, 0.5)
+        with pytest.raises(ValueError):
+            calibrate_time_unit(0.030, 4, 0.5, edge_servers=4)
+
+
+class TestLemma32:
+    def test_reduces_toward_mm_shape_at_cv1(self):
+        """With ca2=cs2=1 the GG threshold is positive for pooled clouds."""
+        assert delta_n_threshold_gg(0.85, 0.85, 5, 13.0, 1.0, 1.0, 1.0) > 0
+
+    @given(ca2=st.floats(min_value=1.0, max_value=16.0))
+    @settings(max_examples=80)
+    def test_burstier_edge_raises_threshold(self, ca2):
+        """Corollary 3.2.1's message: inversion more likely when bursty."""
+        base = delta_n_threshold_gg(0.85, 0.85, 5, 13.0, 1.0, 1.0, 1.0)
+        bursty = delta_n_threshold_gg(0.85, 0.85, 5, 13.0, ca2, 1.0, 1.0)
+        assert bursty >= base - 1e-12
+
+    def test_limit_keeps_only_edge_term(self):
+        edge_term = delta_n_threshold_gg_limit(0.85, 13.0, 2.0, 0.5)
+        full = delta_n_threshold_gg(0.85, 0.85, 10_000, 13.0, 2.0, 2.0, 0.5)
+        assert full == pytest.approx(edge_term, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delta_n_threshold_gg(0.85, 0.85, 5, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            delta_n_threshold_gg_limit(1.0, 13.0, 1.0, 1.0)
+
+
+class TestLemma33:
+    def test_balanced_weights_match_lemma31(self):
+        k, lam, mu = 5, 40.0, 13.0
+        rho = lam / (k * mu)
+        balanced = delta_n_threshold_skewed([0.2] * 5, lam, mu, k)
+        assert balanced == pytest.approx(delta_n_threshold_mm(rho, rho, k))
+
+    def test_skew_raises_threshold(self):
+        """Hot sites wait longer: skew makes inversion easier (paper §3.2)."""
+        k, lam, mu = 5, 25.0, 13.0
+        balanced = delta_n_threshold_skewed([0.2] * 5, lam, mu, k)
+        skewed = delta_n_threshold_skewed([0.4, 0.3, 0.15, 0.1, 0.05], lam, mu, k)
+        assert skewed > balanced
+
+    def test_overloaded_site_rejected(self):
+        with pytest.raises(ValueError):
+            delta_n_threshold_skewed([0.9, 0.1], 20.0, 13.0, 2)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            delta_n_threshold_skewed([0.5, 0.6], 10.0, 13.0, 2)
+
+    def test_weights_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            delta_n_threshold_skewed([1.5, -0.5], 10.0, 13.0, 2)
+
+
+class TestExactEngine:
+    def test_wait_difference_matches_mmk(self):
+        rho, mu, ke, kc = 0.7, 13.0, 1, 5
+        expected = (
+            MMk(rho * mu, mu, 1).mean_wait() - MMk(rho * kc * mu, mu, kc).mean_wait()
+        )
+        assert mean_wait_difference(rho, mu, ke, kc) == pytest.approx(expected)
+
+    def test_zero_rho_gives_zero(self):
+        assert mean_wait_difference(0.0, 13.0, 1, 5) == 0.0
+
+    def test_cutoff_solves_fixed_point(self):
+        dn, mu, ke, kc = 0.024, 13.0 / 8.0, 8, 40
+        rho = cutoff_utilization_exact(dn, mu, ke, kc)
+        assert 0.0 < rho < 1.0
+        assert mean_wait_difference(rho, mu, ke, kc) == pytest.approx(dn, rel=1e-6)
+
+    def test_cutoff_one_when_pools_equal(self):
+        assert cutoff_utilization_exact(0.01, 13.0, 5, 5) == 1.0
+
+    def test_cutoff_decreases_with_closer_cloud(self):
+        mu, ke, kc = 13.0 / 8.0, 8, 40
+        near = cutoff_utilization_exact(0.014, mu, ke, kc)
+        far = cutoff_utilization_exact(0.079, mu, ke, kc)
+        assert near < far
+
+    def test_cutoff_zero_for_negligible_delta_n(self):
+        assert cutoff_utilization_exact(1e-9, 13.0, 1, 50) == pytest.approx(0.0, abs=1e-3)
+
+    def test_is_inverted_consistent_with_cutoff(self):
+        dn, mu, ke, kc = 0.024, 13.0 / 8.0, 8, 40
+        rho_star = cutoff_utilization_exact(dn, mu, ke, kc)
+        assert not is_inverted_mm(dn, rho_star - 0.05, mu, ke, kc)
+        assert is_inverted_mm(dn, rho_star + 0.05, mu, ke, kc)
+
+    def test_general_cv_path(self):
+        rho = cutoff_utilization_exact(0.024, 13.0 / 8.0, 8, 40, ca2=4.0, cs2=0.25)
+        baseline = cutoff_utilization_exact(0.024, 13.0 / 8.0, 8, 40)
+        # Bursty arrivals lower the cutoff (inversion happens earlier).
+        assert rho < baseline
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cutoff_utilization_exact(0.0, 13.0, 1, 5)
+        with pytest.raises(ValueError):
+            mean_wait_difference(0.5, -1.0, 1, 5)
+        with pytest.raises(ValueError):
+            is_inverted_mm(-0.1, 0.5, 13.0, 1, 5)

@@ -1,0 +1,98 @@
+"""Tests for the per-region placement advisor."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.placement import recommend_placements
+from repro.sim.geo import Region
+
+MU = 13.0
+
+
+def regions():
+    return [
+        Region("metro", weight=0.5, edge_rtt=0.001, cloud_rtt=0.012),
+        Region("suburban", weight=0.3, edge_rtt=0.001, cloud_rtt=0.030),
+        Region("remote", weight=0.2, edge_rtt=0.002, cloud_rtt=0.300),
+    ]
+
+
+class TestRecommendations:
+    def test_one_decision_per_region_in_order(self):
+        decisions = recommend_placements(regions(), 20.0, MU, 2)
+        assert [d.region for d in decisions] == ["metro", "suburban", "remote"]
+
+    def test_cloud_chosen_when_it_meets_objective(self):
+        """With a loose objective the cheap cloud wins everywhere it can."""
+        decisions = recommend_placements(
+            regions(), 20.0, MU, 2, latency_objective=1.0
+        )
+        by_name = {d.region: d for d in decisions}
+        assert by_name["metro"].placement == "cloud"
+        assert by_name["metro"].meets_objective
+
+    def test_edge_chosen_when_cloud_rtt_breaks_objective(self):
+        """The remote region (300 ms cloud) needs its edge for tight SLOs."""
+        decisions = recommend_placements(
+            regions(), 20.0, MU, 2, latency_objective=0.50
+        )
+        by_name = {d.region: d for d in decisions}
+        assert by_name["remote"].placement == "edge"
+        assert by_name["remote"].meets_objective
+
+    def test_infeasible_objective_picks_lower_latency(self):
+        decisions = recommend_placements(
+            regions(), 20.0, MU, 2, latency_objective=0.001
+        )
+        for d in decisions:
+            assert not d.meets_objective
+            assert d.latency == min(d.edge_latency, d.cloud_latency)
+
+    def test_latency_fields_consistent(self):
+        for d in recommend_placements(regions(), 20.0, MU, 2):
+            assert d.edge_latency > 0 and d.cloud_latency > 0
+            chosen = d.edge_latency if d.placement == "edge" else d.cloud_latency
+            assert d.latency == chosen
+
+    def test_cost_delta_reflects_prices(self):
+        cm = CostModel(cloud_server_hourly=0.1, edge_server_hourly=0.3,
+                       site_overhead_hourly=1.0)
+        (d, *_) = recommend_placements(regions(), 20.0, MU, 2, cost_model=cm)
+        expected = ((2 * 0.3 + 1.0) - 2 * 0.1) * 730.0
+        assert d.monthly_cost_delta == pytest.approx(expected)
+
+    def test_high_utilization_flips_close_region_to_cloud(self):
+        """At high load, even a modest objective sends metro to the cloud
+        (its edge site queues; the pooled cloud doesn't)."""
+        decisions = recommend_placements(
+            regions(), 70.0, MU, 3, latency_objective=0.45
+        )
+        by_name = {d.region: d for d in decisions}
+        assert by_name["metro"].placement == "cloud"
+        assert by_name["metro"].cloud_latency < by_name["metro"].edge_latency
+
+
+class TestValidation:
+    def test_empty_regions(self):
+        with pytest.raises(ValueError):
+            recommend_placements([], 10.0, MU, 1)
+
+    def test_saturating_aggregate(self):
+        with pytest.raises(ValueError, match="saturates the"):
+            recommend_placements(regions(), 1000.0, MU, 2)
+
+    def test_saturating_region(self):
+        hot = [Region("hot", weight=0.7, edge_rtt=0.001, cloud_rtt=0.03),
+               Region("cold", weight=0.3, edge_rtt=0.001, cloud_rtt=0.03)]
+        # Aggregate (20 < 26) is fine; the hot region's own 14 req/s
+        # saturates its single-server site.
+        with pytest.raises(ValueError, match="edge site"):
+            recommend_placements(hot, 20.0, MU, 1)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            recommend_placements(regions(), 0.0, MU, 1)
+        with pytest.raises(ValueError):
+            recommend_placements(regions(), 10.0, MU, 0)
+        with pytest.raises(ValueError):
+            recommend_placements(regions(), 10.0, MU, 1, latency_objective=0.0)

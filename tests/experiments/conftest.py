@@ -1,0 +1,11 @@
+"""Shared fixtures: small-but-meaningful experiment sizing for tests."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def cfg():
+    """Test-sized experiments: fast, yet big enough for stable shapes."""
+    return ExperimentConfig(requests_per_site=25_000, azure_duration=1800.0)

@@ -1,0 +1,195 @@
+"""Shape tests for every figure runner.
+
+These assert the paper's *qualitative* findings (who wins, orderings,
+crossover neighborhoods), not its absolute testbed numbers — the
+substitution contract of DESIGN.md §5.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures as F
+from repro.experiments import report as R
+
+
+@pytest.fixture(scope="module")
+def fig3(cfg):
+    return F.fig3_mean_typical(cfg)
+
+
+@pytest.fixture(scope="module")
+def fig4(cfg):
+    return F.fig4_mean_distant(cfg)
+
+
+@pytest.fixture(scope="module")
+def fig5(cfg):
+    return F.fig5_tail_distant(cfg)
+
+
+class TestFig2:
+    def test_spatial_skew_shape(self, cfg):
+        res = F.fig2_spatial_skew(cfg)
+        assert res.per_cell_mean_load.size == 100
+        q1, q2, q3 = res.quartiles
+        assert q1 <= q2 <= q3
+        # Figure 2's message: heavy per-cell imbalance.
+        assert res.skew["max_over_mean"] > 2.0
+        assert res.skew["cell_cv"] > 0.5
+
+    def test_render(self, cfg):
+        out = R.render_fig2(F.fig2_spatial_skew(cfg))
+        assert "Figure 2" in out and "quartiles" in out
+
+
+class TestFig3:
+    def test_crossover_near_paper_k5(self, fig3):
+        x = fig3.crossovers()["k5"]
+        assert x is not None
+        assert x == pytest.approx(8.0, abs=1.5)  # paper: 8 req/s
+
+    def test_k10_crossover_higher_than_k5(self, fig3):
+        xs = fig3.crossovers()
+        assert xs["k10"] is not None
+        assert xs["k10"] > xs["k5"]  # paper: 11 vs 8 req/s
+
+    def test_edge_wins_at_low_rate(self, fig3):
+        p = fig3.k5.points[0]  # 6 req/s
+        assert p.gap("mean") < 0
+
+    def test_cloud_wins_at_high_rate(self, fig3):
+        p = fig3.k5.points[-1]  # 12 req/s
+        assert p.gap("mean") > 0
+
+    def test_render(self, fig3):
+        out = R.render_sweep_figure(fig3)
+        assert "crossover" in out and "CLOUD" in out and "edge" in out
+
+
+class TestFig4:
+    def test_distant_cloud_crossover_later_than_typical(self, fig3, fig4):
+        assert fig4.crossovers()["k5"] > fig3.crossovers()["k5"]
+
+    def test_k5_crossover_in_paper_neighborhood(self, fig4):
+        # Paper: 11 req/s; we accept the 9-12 band (DESIGN.md §6).
+        x = fig4.crossovers()["k5"]
+        assert x is not None
+        assert 8.5 <= x <= 12.0
+
+    def test_k10_inverts_late_or_never(self, fig4):
+        """Paper: no inversion up to 12 req/s for k=10."""
+        x = fig4.crossovers()["k10"]
+        assert x is None or x > 9.5
+
+
+class TestFig5:
+    def test_tail_inverts_before_mean(self, fig4, fig5):
+        """The Figure 5 insight, the paper's headline tail result."""
+        assert fig5.crossovers()["k5"] < fig4.crossovers()["k5"]
+
+    def test_tail_crossover_near_paper(self, fig5):
+        # Paper: 8 req/s for k=5.
+        assert fig5.crossovers()["k5"] == pytest.approx(8.0, abs=1.5)
+
+    def test_k10_tail_crossover_higher(self, fig5):
+        xs = fig5.crossovers()
+        assert xs["k10"] is None or xs["k10"] > xs["k5"]
+
+
+class TestFig6:
+    def test_edge_distribution_has_longer_tail(self, cfg):
+        res = F.fig6_distribution(cfg)
+        # Paper: at 10 req/s the edge's distribution is wider with a
+        # longer tail than the cloud's.
+        assert res.edge.p99 > res.cloud.p99
+        assert res.edge.std > res.cloud.std
+
+    def test_render(self, cfg):
+        out = R.render_fig6(F.fig6_distribution(cfg))
+        assert "p95" in out and "edge" in out and "cloud" in out
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self, cfg):
+        return F.fig7_cutoff_utilizations(cfg)
+
+    def test_cutoff_increases_with_cloud_distance(self, fig7):
+        """Figure 7's message: closer clouds invert the edge earlier."""
+        measured = [m for m in fig7.mean_cutoff if m is not None]
+        assert all(np.diff(measured) > -0.05)  # non-decreasing (noise slack)
+        # The nearest cloud must have a decisively lower cutoff than the
+        # most distant one that still inverts.
+        assert measured[-1] - measured[0] > 0.1
+
+    def test_tail_cutoff_below_mean_cutoff(self, fig7):
+        for m, t in zip(fig7.mean_cutoff, fig7.tail_cutoff):
+            if m is not None and t is not None:
+                assert t <= m + 0.03
+
+    def test_predictions_track_measurements(self, fig7):
+        for m, p in zip(fig7.mean_cutoff, fig7.predicted_cutoff):
+            if m is not None:
+                assert p == pytest.approx(m, abs=0.12)
+
+    def test_render(self, fig7):
+        out = R.render_fig7(fig7)
+        assert "RTT" in out and "cutoff" in out
+
+
+class TestFig8:
+    def test_five_sites_with_temporal_and_spatial_variation(self, cfg):
+        res = F.fig8_azure_workload(cfg)
+        assert len(res.site_rates) == 5
+        assert res.spatial_cv > 0.2  # sites see distinctly unequal load
+        for rates in res.site_rates:
+            r = rates[~np.isnan(rates)]
+            assert r.max() > 1.3 * r.mean()  # temporal burstiness
+
+    def test_render(self, cfg):
+        out = R.render_fig8(F.fig8_azure_workload(cfg))
+        assert "site 4" in out
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def fig9(self, cfg):
+        return F.fig9_azure_latency(cfg)
+
+    def test_edge_frequently_inverts(self, fig9):
+        """Paper: edge sites frequently see inversion under the trace."""
+        assert 0.1 < fig9.inversion_fraction <= 1.0
+
+    def test_cloud_series_is_smoother(self, fig9):
+        """Paper: the aggregate workload smooths the cloud's latency."""
+        assert fig9.edge_variability > 1.5
+
+    def test_series_aligned(self, fig9):
+        assert fig9.window_starts.shape == fig9.edge_mean.shape == fig9.cloud_mean.shape
+
+    def test_render(self, fig9):
+        out = R.render_fig9(fig9)
+        assert "windows with edge worse" in out
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def fig10(self, cfg):
+        return F.fig10_azure_per_site(cfg)
+
+    def test_sites_differ_in_latency(self, fig10):
+        p95s = [s.p95 for s in fig10.site_summaries]
+        assert max(p95s) > 2.0 * min(p95s)
+
+    def test_least_loaded_site_is_cheapest(self, fig10):
+        """Paper: the least-loaded site offers the lowest latencies."""
+        order_by_util = np.argsort(fig10.site_utilizations)
+        medians = np.array([s.p50 for s in fig10.site_summaries])
+        assert medians[order_by_util[0]] < medians[order_by_util[-1]]
+
+    def test_cloud_summary_present(self, fig10):
+        assert fig10.cloud_summary.count > 1000
+
+    def test_render(self, fig10):
+        out = R.render_fig10(fig10)
+        assert "cloud" in out and "rho" in out

@@ -1,0 +1,49 @@
+"""Tests for the one-shot markdown report generator."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper_report import generate_report
+
+TINY = ExperimentConfig(requests_per_site=5_000, azure_duration=900.0)
+
+
+class TestGenerateReport:
+    def test_filtered_section(self):
+        text = generate_report(TINY, only=["Figure 2"])
+        assert "## Figure 2" in text
+        assert "## Figure 3" not in text
+        assert text.startswith("# Evaluation report")
+
+    def test_validation_only(self):
+        text = generate_report(TINY, only=["validation"])
+        assert "Section 4.2" in text
+        assert "formula unit consistency" in text
+
+    def test_multiple_filters(self):
+        text = generate_report(TINY, only=["Figure 2", "Figure 6"])
+        assert "## Figure 2" in text and "## Figure 6" in text
+
+    def test_no_match_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(TINY, only=["Figure 99"])
+
+    def test_config_stamped(self):
+        text = generate_report(TINY, only=["Figure 2"])
+        assert "requests_per_site=5000" in text
+
+
+class TestReportCli:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--only", "Figure 2", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "## Figure 2" in out.read_text()
+
+    def test_report_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--only", "Figure 2"]) == 0
+        assert "## Figure 2" in capsys.readouterr().out

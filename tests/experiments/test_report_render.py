@@ -1,0 +1,83 @@
+"""Direct tests for the text renderers (edge cases not hit via figures)."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparator import ComparisonResult, SweepPoint
+from repro.core.scenarios import TYPICAL_CLOUD
+from repro.experiments.figures import Fig7Result, Fig9Result
+from repro.experiments.report import render_fig7, render_fig9, render_sweep
+from repro.stats.summary import LatencySummary
+
+
+def summary(mean):
+    return LatencySummary(
+        count=10, mean=mean, std=0.0, p25=mean, p50=mean, p75=mean,
+        p95=mean, p99=mean, min=mean, max=mean,
+    )
+
+
+def make_result(edge_means, cloud_means):
+    points = tuple(
+        SweepPoint(
+            rate_per_site=float(i + 6),
+            utilization=(i + 6) / 13.0,
+            edge=summary(e),
+            cloud=summary(c),
+        )
+        for i, (e, c) in enumerate(zip(edge_means, cloud_means))
+    )
+    return ComparisonResult(scenario=TYPICAL_CLOUD, points=points)
+
+
+class TestRenderSweep:
+    def test_no_crossover_renders_none(self):
+        res = make_result([0.1, 0.11], [0.2, 0.2])
+        out = render_sweep(res)
+        assert "none in range" in out
+        assert out.count("edge") >= 2  # winner column
+
+    def test_crossover_rendered_with_rate(self):
+        res = make_result([0.1, 0.3], [0.2, 0.2])
+        out = render_sweep(res)
+        assert "req/s/site" in out
+        assert "CLOUD" in out
+
+    def test_metric_selectable(self):
+        res = make_result([0.1], [0.2])
+        out = render_sweep(res, "p95")
+        assert "p95" in out
+
+
+class TestRenderFig7:
+    def test_none_cutoffs_render_as_none(self):
+        res = Fig7Result(
+            rtts_ms=(15.0, 80.0),
+            mean_cutoff=(0.4, None),
+            tail_cutoff=(None, 0.75),
+            predicted_cutoff=(0.45, 0.9),
+        )
+        out = render_fig7(res)
+        assert "none" in out
+        assert "0.40" in out and "0.75" in out
+
+
+class TestRenderFig9:
+    def test_handles_nan_windows(self):
+        res = Fig9Result(
+            window_starts=np.array([0.0, 60.0, 120.0]),
+            edge_mean=np.array([0.1, np.nan, 0.3]),
+            cloud_mean=np.array([0.2, 0.2, np.nan]),
+        )
+        out = render_fig9(res)
+        assert "edge " in out and "cloud" in out
+        # Inversion fraction computed over the single valid window.
+        assert res.inversion_fraction == pytest.approx(0.0)
+
+    def test_all_nan_inversion_fraction(self):
+        res = Fig9Result(
+            window_starts=np.array([0.0]),
+            edge_mean=np.array([np.nan]),
+            cloud_mean=np.array([np.nan]),
+        )
+        assert res.inversion_fraction == 0.0

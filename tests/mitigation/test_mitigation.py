@@ -1,0 +1,197 @@
+"""Tests for the Section 5 mitigation techniques."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation.autoscale import ReactiveAutoscaler
+from repro.mitigation.geo_lb import GeoLoadBalancer
+from repro.mitigation.provisioning import plan_capacity, rebalance_to_budget
+from repro.queueing.distributions import Exponential
+from repro.sim.network import ConstantLatency
+from repro.sim.runner import run_deployment
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+EDGE_LAT = ConstantLatency.from_ms(1.0)
+
+
+def run_skewed_edge(router=None, seed=0, duration=1500.0):
+    """Skewed 5-site edge workload (hot site at rho ~0.9)."""
+    return run_deployment(
+        "edge",
+        sites=5,
+        servers_per_site=1,
+        rate_per_site=0.0,
+        site_rates=[11.7, 5.0, 5.0, 5.0, 3.0],
+        service_dist=SERVICE,
+        latency=EDGE_LAT,
+        duration=duration,
+        seed=seed,
+        router=router,
+    )
+
+
+class TestGeoLoadBalancer:
+    def test_reduces_latency_under_skew(self):
+        baseline = run_skewed_edge(router=None, seed=1)
+        glb = GeoLoadBalancer(occupancy_threshold=1.0, inter_site_oneway=0.003)
+        balanced = run_skewed_edge(router=glb, seed=1)
+        assert balanced.end_to_end.mean() < baseline.end_to_end.mean()
+        assert np.quantile(balanced.end_to_end, 0.95) < np.quantile(
+            baseline.end_to_end, 0.95
+        )
+
+    def test_redirects_happen_and_are_counted(self):
+        glb = GeoLoadBalancer(occupancy_threshold=1.0)
+        run_skewed_edge(router=glb, seed=2, duration=500.0)
+        assert glb.redirected > 0
+        assert 0.0 < glb.redirect_fraction < 1.0
+
+    def test_no_redirects_when_threshold_huge(self):
+        glb = GeoLoadBalancer(occupancy_threshold=1e9)
+        run_skewed_edge(router=glb, seed=3, duration=300.0)
+        assert glb.redirected == 0
+        assert glb.redirect_fraction == 0.0
+
+    def test_redirect_fraction_zero_before_use(self):
+        assert GeoLoadBalancer().redirect_fraction == 0.0
+
+    def test_mitigates_inversion_against_cloud(self):
+        """Queue jockeying restores the edge's win in a skewed regime."""
+        cloud = run_deployment(
+            "cloud",
+            sites=5,
+            servers_per_site=1,
+            rate_per_site=0.0,
+            site_rates=[11.7, 5.0, 5.0, 5.0, 3.0],
+            service_dist=SERVICE,
+            latency=ConstantLatency.from_ms(25.0),
+            duration=1500.0,
+            seed=4,
+        )
+        baseline = run_skewed_edge(router=None, seed=4)
+        glb_run = run_skewed_edge(router=GeoLoadBalancer(), seed=4)
+        # Without jockeying the skewed edge loses to the cloud (inversion);
+        # with it, the gap shrinks decisively.
+        gap_before = baseline.end_to_end.mean() - cloud.end_to_end.mean()
+        gap_after = glb_run.end_to_end.mean() - cloud.end_to_end.mean()
+        assert gap_after < gap_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoLoadBalancer(occupancy_threshold=-1.0)
+        with pytest.raises(ValueError):
+            GeoLoadBalancer(inter_site_oneway=-0.1)
+        with pytest.raises(ValueError):
+            GeoLoadBalancer(improvement_factor=0.0)
+
+
+class TestPlanCapacity:
+    def test_stability_floors(self):
+        plan = plan_capacity([5.0, 20.0, 0.0], MU)
+        assert plan.is_stable()
+        assert plan.servers[2] == 0
+        assert plan.servers[1] >= 2  # 20 req/s needs >= 2 servers at mu=13
+
+    def test_equalizes_utilization_direction(self):
+        plan = plan_capacity([26.0, 2.0], MU)
+        u = plan.utilizations
+        assert abs(u[0] - u[1]) < 0.95  # both well below saturation
+
+    def test_inversion_floor_raises_allocation(self):
+        base = plan_capacity([8.0, 8.0], MU)
+        guarded = plan_capacity(
+            [8.0, 8.0], MU, delta_n=0.030, cloud_servers=5, time_unit=0.077
+        )
+        assert guarded.total_servers >= base.total_servers
+
+    def test_overprovision_factor(self):
+        base = plan_capacity([8.0, 8.0], MU)
+        padded = plan_capacity([8.0, 8.0], MU, overprovision=2.0)
+        assert padded.total_servers >= 2 * base.total_servers - 2
+
+    def test_max_utilization(self):
+        plan = plan_capacity([5.0, 12.0], MU)
+        assert plan.max_utilization == max(plan.utilizations)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_capacity([], MU)
+        with pytest.raises(ValueError):
+            plan_capacity([1.0], 0.0)
+        with pytest.raises(ValueError):
+            plan_capacity([1.0], MU, overprovision=0.5)
+        with pytest.raises(ValueError):
+            plan_capacity([1.0], MU, delta_n=0.01)  # missing cloud_servers
+
+
+class TestRebalanceToBudget:
+    def test_proportional_within_budget(self):
+        plan = rebalance_to_budget([20.0, 10.0, 10.0], 8, MU)
+        assert plan.total_servers == 8
+        assert plan.servers[0] >= plan.servers[1]
+        assert plan.is_stable()
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            rebalance_to_budget([100.0, 100.0], 2, MU)
+
+
+class TestReactiveAutoscaler:
+    def _run_with_autoscaler(self, rates_fn=None, **kwargs):
+        from repro.queueing.distributions import Exponential as Exp
+        from repro.sim.client import OpenLoopSource
+        from repro.sim.engine import Simulation
+        from repro.sim.topology import EdgeDeployment, EdgeSite
+
+        sim = Simulation(9)
+        site = EdgeSite(sim, "s0", 1, EDGE_LAT, SERVICE)
+        edge = EdgeDeployment(sim, [site])
+        OpenLoopSource(sim, edge, Exp(1.0 / 11.0), site="s0", stop_time=600.0)
+        scaler = ReactiveAutoscaler(
+            sim, [site.station], interval=20.0, stop_time=600.0, **kwargs
+        )
+        sim.run()
+        return edge, site, scaler
+
+    def test_scales_up_under_load(self):
+        _, site, scaler = self._run_with_autoscaler(target_utilization=0.5)
+        assert scaler.scale_events > 0
+        assert site.station.servers > 1
+
+    def test_respects_max(self):
+        _, site, scaler = self._run_with_autoscaler(
+            target_utilization=0.1, max_servers=3
+        )
+        assert site.station.servers <= 3
+
+    def test_improves_latency_vs_fixed(self):
+        edge_scaled, _, _ = self._run_with_autoscaler(target_utilization=0.5)
+        # Fixed single-server baseline at the same workload.
+        fixed = run_deployment(
+            "edge",
+            sites=1,
+            servers_per_site=1,
+            rate_per_site=11.0,
+            service_dist=SERVICE,
+            latency=EDGE_LAT,
+            duration=600.0,
+            seed=9,
+        )
+        scaled_mean = edge_scaled.log.breakdown().after(120.0).end_to_end.mean()
+        assert scaled_mean < fixed.end_to_end.mean()
+
+    def test_validation(self):
+        from repro.sim.engine import Simulation
+        from repro.sim.station import Station
+
+        sim = Simulation(0)
+        st = Station(sim, 1, SERVICE)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, [], target_utilization=0.5)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, [st], target_utilization=1.5)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, [st], interval=0.0)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, [st], min_servers=5, max_servers=2)

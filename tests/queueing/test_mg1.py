@@ -1,0 +1,106 @@
+"""Tests for the M/G/1 model and M/D/k approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.base import StabilityError
+from repro.queueing.distributions import Deterministic, Erlang, Exponential, HyperExponential
+from repro.queueing.mg1 import MG1, mdk_wait
+from repro.queueing.mm1 import MM1
+from repro.queueing.mmk import MMk
+from repro.sim.fastsim import simulate_fcfs_queue
+
+
+class TestMG1:
+    def test_exponential_service_reduces_to_mm1(self):
+        q = MG1(8.0, Exponential(1.0 / 13.0))
+        assert q.mean_wait() == pytest.approx(MM1(8.0, 13.0).mean_wait())
+        assert q.mean_response() == pytest.approx(MM1(8.0, 13.0).mean_response())
+
+    def test_deterministic_service_halves_the_wait(self):
+        md1 = MG1(8.0, Deterministic(1.0 / 13.0))
+        mm1 = MM1(8.0, 13.0)
+        assert md1.mean_wait() == pytest.approx(0.5 * mm1.mean_wait())
+
+    def test_erlang_service_interpolates(self):
+        m_e4 = MG1(8.0, Erlang(4, 1.0 / 13.0)).mean_wait()
+        m_m = MM1(8.0, 13.0).mean_wait()
+        m_d = MG1(8.0, Deterministic(1.0 / 13.0)).mean_wait()
+        assert m_d < m_e4 < m_m
+        # PK: wait scales with (1 + cs2)/2 -> Erlang-4 gives 0.625 * M/M/1.
+        assert m_e4 == pytest.approx(0.625 * m_m)
+
+    def test_heavy_tailed_service_inflates_wait(self):
+        h2 = MG1(8.0, HyperExponential.balanced(1.0 / 13.0, 4.0))
+        assert h2.mean_wait() > MM1(8.0, 13.0).mean_wait()
+
+    def test_littles_law(self):
+        q = MG1(8.0, Erlang(2, 1.0 / 13.0))
+        assert q.mean_queue_length() == pytest.approx(8.0 * q.mean_wait())
+        assert q.mean_number_in_system() == pytest.approx(8.0 * q.mean_response())
+
+    def test_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        n = 300_000
+        service = Erlang(4, 1.0 / 13.0)
+        arrivals = np.cumsum(rng.exponential(1.0 / 9.0, n))
+        services = np.asarray(service.sample(rng, n))
+        waits = simulate_fcfs_queue(arrivals, services, 1)
+        assert waits[30_000:].mean() == pytest.approx(
+            MG1(9.0, service).mean_wait(), rel=0.05
+        )
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            MG1(14.0, Exponential(1.0 / 13.0))
+
+    def test_invalid_service(self):
+        with pytest.raises(ValueError):
+            MG1(1.0, Deterministic(0.0))
+
+
+class TestMDk:
+    def test_single_server_is_half_mmk(self):
+        assert mdk_wait(8.0, 13.0, 1) == pytest.approx(
+            0.5 * MMk(8.0, 13.0, 1).mean_wait()
+        )
+
+    def test_matches_simulation_multi_server(self):
+        rng = np.random.default_rng(1)
+        n = 300_000
+        lam, mu, k = 40.0, 13.0, 5
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, n))
+        services = np.full(n, 1.0 / mu)
+        waits = simulate_fcfs_queue(arrivals, services, k)
+        assert waits[30_000:].mean() == pytest.approx(mdk_wait(lam, mu, k), rel=0.1)
+
+    @given(
+        k=st.integers(min_value=1, max_value=20),
+        rho=st.floats(min_value=0.1, max_value=0.95),
+    )
+    @settings(max_examples=100)
+    def test_never_above_mmk_wait(self, k, rho):
+        """Deterministic service never waits longer than exponential."""
+        mu = 13.0
+        lam = rho * k * mu
+        assert mdk_wait(lam, mu, k) <= MMk(lam, mu, k).mean_wait()
+
+    @given(
+        k=st.integers(min_value=1, max_value=20),
+        rho=st.floats(min_value=0.4, max_value=0.95),
+    )
+    @settings(max_examples=100)
+    def test_strictly_below_mmk_at_moderate_load(self, k, rho):
+        """In the approximation's validity regime the gap is strict."""
+        mu = 13.0
+        lam = rho * k * mu
+        assert mdk_wait(lam, mu, k) < MMk(lam, mu, k).mean_wait()
+
+    def test_zero_load(self):
+        assert mdk_wait(0.0, 13.0, 3) == 0.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            mdk_wait(70.0, 13.0, 5)

@@ -1,0 +1,247 @@
+"""Tests for the exact M/M/1 and M/M/k models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.base import StabilityError
+from repro.queueing.mm1 import MM1
+from repro.queueing.mmk import MMk, erlang_b, erlang_c, whitt_conditional_wait
+
+
+class TestErlangB:
+    def test_known_values(self):
+        # Classical tabulated values: B(1, a) = a/(1+a); B(2, 1) = 0.5/2.5.
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+
+    def test_zero_load(self):
+        assert erlang_b(5, 0.0) == 0.0
+
+    @given(
+        servers=st.integers(min_value=1, max_value=50),
+        load=st.floats(min_value=0.0, max_value=40.0),
+    )
+    @settings(max_examples=200)
+    def test_is_probability(self, servers, load):
+        b = erlang_b(servers, load)
+        assert 0.0 <= b <= 1.0
+
+    @given(
+        servers=st.integers(min_value=1, max_value=30),
+        load=st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=100)
+    def test_monotone_decreasing_in_servers(self, servers, load):
+        assert erlang_b(servers + 1, load) <= erlang_b(servers, load) + 1e-12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            erlang_b(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_b(1, -1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_known_value(self):
+        # M/M/2 with a=1 (rho=0.5): C = B/(1-rho(1-B)) with B = 1/5.
+        b = erlang_b(2, 1.0)
+        expected = b / (1 - 0.5 * (1 - b))
+        assert erlang_c(2, 1.0) == pytest.approx(expected)
+
+    @given(
+        servers=st.integers(min_value=1, max_value=40),
+        rho=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=200)
+    def test_is_probability_and_exceeds_erlang_b(self, servers, rho):
+        a = rho * servers
+        c = erlang_c(servers, a)
+        assert 0.0 <= c <= 1.0
+        assert c >= erlang_b(servers, a) - 1e-12
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(2, 2.0)
+
+
+class TestMM1:
+    def test_textbook_example(self):
+        # lambda=8, mu=10: W = 1/(mu-lambda) = 0.5 s; Wq = rho*W = 0.4 s.
+        q = MM1(8.0, 10.0)
+        assert q.utilization == pytest.approx(0.8)
+        assert q.mean_response() == pytest.approx(0.5)
+        assert q.mean_wait() == pytest.approx(0.4)
+        assert q.mean_number_in_system() == pytest.approx(4.0)
+        assert q.mean_queue_length() == pytest.approx(3.2)
+
+    def test_prob_wait_is_rho(self):
+        assert MM1(3.0, 10.0).prob_wait() == pytest.approx(0.3)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            MM1(10.0, 10.0)
+
+    def test_response_percentile_inverts_cdf(self):
+        q = MM1(8.0, 10.0)
+        for p in (0.1, 0.5, 0.95, 0.99):
+            t = q.response_time_percentile(p)
+            assert float(q.response_time_cdf(t)) == pytest.approx(p)
+
+    def test_waiting_percentile_atom_at_zero(self):
+        q = MM1(2.0, 10.0)  # rho = 0.2 -> P(Wq = 0) = 0.8
+        assert q.waiting_time_percentile(0.5) == 0.0
+        assert q.waiting_time_percentile(0.9) > 0.0
+
+    def test_waiting_cdf_at_zero(self):
+        q = MM1(6.0, 10.0)
+        assert float(q.waiting_time_cdf(0.0)) == pytest.approx(1 - 0.6)
+
+    def test_cdf_negative_time_is_zero(self):
+        q = MM1(6.0, 10.0)
+        assert float(q.response_time_cdf(-1.0)) == 0.0
+        assert float(q.waiting_time_cdf(-1.0)) == 0.0
+
+    @given(
+        rho=st.floats(min_value=0.05, max_value=0.95),
+        mu=st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=100)
+    def test_littles_law(self, rho, mu):
+        lam = rho * mu
+        q = MM1(lam, mu)
+        assert math.isclose(q.mean_number_in_system(), lam * q.mean_response(), rel_tol=1e-9)
+        assert math.isclose(q.mean_queue_length(), lam * q.mean_wait(), rel_tol=1e-9)
+
+    def test_percentile_rejects_bad_q(self):
+        q = MM1(5.0, 10.0)
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                q.response_time_percentile(bad)
+
+
+class TestMMk:
+    def test_k1_matches_mm1(self):
+        a, b = MMk(8.0, 10.0, 1), MM1(8.0, 10.0)
+        assert a.mean_wait() == pytest.approx(b.mean_wait())
+        assert a.mean_response() == pytest.approx(b.mean_response())
+        assert a.prob_wait() == pytest.approx(b.prob_wait())
+
+    def test_textbook_mm2(self):
+        # M/M/2, lambda=1.5, mu=1: rho=0.75, a=1.5.
+        q = MMk(1.5, 1.0, 2)
+        b = erlang_b(2, 1.5)
+        c = b / (1 - 0.75 * (1 - b))
+        assert q.prob_wait() == pytest.approx(c)
+        assert q.mean_wait() == pytest.approx(c / (2.0 - 1.5))
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            MMk(20.0, 10.0, 2)
+
+    @given(
+        k=st.integers(min_value=1, max_value=20),
+        rho=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=150)
+    def test_littles_law(self, k, rho):
+        mu = 2.0
+        q = MMk(rho * k * mu, mu, k)
+        assert math.isclose(q.mean_queue_length(), q.arrival_rate * q.mean_wait(), rel_tol=1e-9)
+
+    @given(rho=st.floats(min_value=0.1, max_value=0.95))
+    @settings(max_examples=80)
+    def test_pooling_beats_split_queues(self, rho):
+        """The bank-teller result: one M/M/k beats k parallel M/M/1s."""
+        mu, k = 1.0, 5
+        pooled = MMk(rho * k * mu, mu, k)
+        split = MM1(rho * mu, mu)
+        assert pooled.mean_wait() <= split.mean_wait() + 1e-12
+
+    @given(
+        k=st.integers(min_value=2, max_value=15),
+        rho=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=80)
+    def test_wait_decreases_with_pool_size_at_fixed_rho(self, k, rho):
+        mu = 1.0
+        small = MMk(rho * k * mu, mu, k)
+        large = MMk(rho * (k + 1) * mu, mu, k + 1)
+        assert large.mean_wait() <= small.mean_wait() + 1e-12
+
+    def test_response_cdf_is_valid_distribution(self):
+        q = MMk(40.0, 13.0, 5)
+        ts = np.linspace(0.0, 2.0, 200)
+        cdf = q.response_time_cdf(ts)
+        assert float(cdf[0]) == pytest.approx(0.0, abs=1e-12)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert float(cdf[-1]) > 0.999
+
+    def test_response_percentile_inverts_cdf(self):
+        q = MMk(40.0, 13.0, 5)
+        for p in (0.5, 0.9, 0.95, 0.99):
+            t = q.response_time_percentile(p)
+            assert float(q.response_time_cdf(t)) == pytest.approx(p, abs=1e-9)
+
+    def test_response_cdf_theta_equals_mu_branch(self):
+        # theta = k*mu - lambda = mu when lambda = (k-1)*mu.
+        q = MMk(13.0, 13.0, 2)
+        ts = np.linspace(0.0, 1.0, 50)
+        cdf = q.response_time_cdf(ts)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        # Compare against a Monte Carlo estimate of the response CDF.
+        rng = np.random.default_rng(0)
+        n = 200_000
+        waits = np.where(
+            rng.random(n) < q.prob_wait(),
+            rng.exponential(1.0 / (2 * 13.0 - 13.0), n),
+            0.0,
+        )
+        resp = waits + rng.exponential(1.0 / 13.0, n)
+        emp = np.searchsorted(np.sort(resp), ts) / n
+        np.testing.assert_allclose(cdf, emp, atol=0.01)
+
+    def test_waiting_time_cdf_atom(self):
+        q = MMk(40.0, 13.0, 5)
+        assert float(q.waiting_time_cdf(0.0)) == pytest.approx(1.0 - q.prob_wait())
+
+    def test_exact_conditional_wait(self):
+        q = MMk(40.0, 13.0, 5)
+        assert q.mean_conditional_wait() == pytest.approx(1.0 / (5 * 13.0 - 40.0))
+        # Consistency: E[Wq] = P(wait) * E[Wq | wait].
+        assert q.mean_wait() == pytest.approx(q.prob_wait() * q.mean_conditional_wait())
+
+
+class TestWhittConditionalWait:
+    def test_matches_paper_equation6_form(self):
+        # sqrt(2) / ((1 - rho) sqrt(k))
+        assert whitt_conditional_wait(4, 0.5) == pytest.approx(math.sqrt(2) / (0.5 * 2.0))
+
+    @given(
+        k=st.integers(min_value=1, max_value=50),
+        rho=st.floats(min_value=0.0, max_value=0.99),
+    )
+    @settings(max_examples=100)
+    def test_positive_and_increasing_in_rho(self, k, rho):
+        w = whitt_conditional_wait(k, rho)
+        assert w > 0
+        if rho + 0.005 < 1.0:
+            assert whitt_conditional_wait(k, rho + 0.005) >= w
+
+    @given(rho=st.floats(min_value=0.0, max_value=0.95))
+    @settings(max_examples=50)
+    def test_decreasing_in_k(self, rho):
+        assert whitt_conditional_wait(9, rho) < whitt_conditional_wait(4, rho)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            whitt_conditional_wait(0, 0.5)
+        with pytest.raises(ValueError):
+            whitt_conditional_wait(2, 1.0)

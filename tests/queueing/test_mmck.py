@@ -1,0 +1,115 @@
+"""Tests for the exact M/M/c/K model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.mmck import MMcK
+from repro.queueing.mmk import MMk, erlang_b
+
+
+class TestAgainstKnownResults:
+    def test_mm1k_blocking_formula(self):
+        # M/M/1/K: P_K = (1-rho) rho^K / (1 - rho^{K+1}).
+        rho, K = 0.8, 4
+        q = MMcK(rho * 10.0, 10.0, 1, K)
+        expected = (1 - rho) * rho**K / (1 - rho ** (K + 1))
+        assert q.blocking_probability() == pytest.approx(expected)
+
+    def test_pure_loss_is_erlang_b(self):
+        # K = c: Erlang-B blocking.
+        lam, mu, c = 30.0, 10.0, 4
+        q = MMcK(lam, mu, c, c)
+        assert q.blocking_probability() == pytest.approx(erlang_b(c, lam / mu))
+        assert q.mean_queue_length() == 0.0
+        assert q.mean_wait() == 0.0
+
+    def test_large_k_approaches_mmc(self):
+        lam, mu, c = 8.0, 13.0, 1
+        bounded = MMcK(lam, mu, c, 400)
+        unbounded = MMk(lam, mu, c)
+        assert bounded.blocking_probability() < 1e-12
+        assert bounded.mean_wait() == pytest.approx(unbounded.mean_wait(), rel=1e-6)
+        assert bounded.mean_response() == pytest.approx(unbounded.mean_response(), rel=1e-6)
+
+    def test_overload_is_finite_and_sane(self):
+        q = MMcK(100.0, 10.0, 2, 10)  # offered rho = 5
+        assert 0.7 < q.blocking_probability() < 1.0
+        assert q.throughput() == pytest.approx(2 * 10.0, rel=0.05)  # near capacity
+        assert q.utilization() <= 1.0
+        assert q.mean_response() < 10.0 / 10.0  # at most K services deep
+
+
+class TestInvariants:
+    @given(
+        lam=st.floats(min_value=0.0, max_value=200.0),
+        c=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=150)
+    def test_probabilities_normalize(self, lam, c, extra):
+        q = MMcK(lam, 10.0, c, c + extra)
+        p = q.state_probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    @given(
+        lam=st.floats(min_value=1.0, max_value=100.0),
+        c=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=80)
+    def test_littles_law(self, lam, c):
+        q = MMcK(lam, 10.0, c, c + 10)
+        assert q.mean_number_in_system() == pytest.approx(
+            q.throughput() * q.mean_response(), rel=1e-9
+        )
+
+    @given(lam=st.floats(min_value=5.0, max_value=80.0))
+    @settings(max_examples=50)
+    def test_bigger_capacity_blocks_less(self, lam):
+        small = MMcK(lam, 10.0, 2, 4)
+        large = MMcK(lam, 10.0, 2, 12)
+        assert large.blocking_probability() <= small.blocking_probability() + 1e-12
+
+    def test_zero_arrivals(self):
+        q = MMcK(0.0, 10.0, 2, 5)
+        assert q.blocking_probability() == 0.0
+        assert q.throughput() == 0.0
+        assert q.mean_response() == 0.0
+
+
+class TestAgainstSimulation:
+    def test_matches_bounded_station(self):
+        """The DES bounded station must match M/M/c/K theory."""
+        from repro.queueing.distributions import Exponential
+        from repro.sim.engine import Simulation
+        from repro.sim.request import Request
+        from repro.sim.station import Station
+
+        lam, mu, c, K = 18.0, 10.0, 2, 6
+        sim = Simulation(17)
+        st_ = Station(sim, c, Exponential(1.0 / mu), queue_capacity=K - c)
+        rng = sim.spawn_rng()
+
+        def gen(i=[0]):
+            if sim.now < 3000.0:
+                st_.arrive(Request(i[0], created=sim.now))
+                i[0] += 1
+                sim.schedule(rng.exponential(1.0 / lam), gen)
+
+        sim.schedule(0.0, gen)
+        sim.run(until=3000.0)
+        theory = MMcK(lam, mu, c, K)
+        assert st_.loss_rate == pytest.approx(theory.blocking_probability(), rel=0.1)
+        assert st_.utilization() == pytest.approx(theory.utilization(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMcK(-1.0, 10.0, 1, 2)
+        with pytest.raises(ValueError):
+            MMcK(1.0, 0.0, 1, 2)
+        with pytest.raises(ValueError):
+            MMcK(1.0, 10.0, 0, 2)
+        with pytest.raises(ValueError):
+            MMcK(1.0, 10.0, 3, 2)

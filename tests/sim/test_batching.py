@@ -1,0 +1,156 @@
+"""Tests for the batching station."""
+
+import numpy as np
+import pytest
+
+from repro.sim.batching import BatchingStation, affine_batch_time
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+
+
+def make_station(sim, servers=1, batch_size=4, timeout=0.05, base=0.05, per_item=0.01):
+    return BatchingStation(
+        sim, servers, batch_size, timeout, affine_batch_time(base, per_item)
+    )
+
+
+class TestBatchFormation:
+    def test_full_batch_dispatches_immediately(self):
+        sim = Simulation(0)
+        st = make_station(sim, batch_size=3, timeout=10.0)
+        done = []
+        st.on_departure = lambda r: done.append((r.rid, sim.now))
+        for i in range(3):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.run()
+        # All three finish together at base + 3*per_item = 0.08.
+        assert done == [(0, 0.08), (1, 0.08), (2, 0.08)]
+        assert st.batches == 1
+        assert st.mean_batch_size() == 3.0
+
+    def test_timeout_flushes_partial_batch(self):
+        sim = Simulation(0)
+        st = make_station(sim, batch_size=4, timeout=0.1)
+        done = []
+        st.on_departure = lambda r: done.append(sim.now)
+        sim.schedule(0.0, st.arrive, Request(0, created=0.0))
+        sim.run()
+        # Dispatched at t=0.1 (timeout), finishes 0.1 + 0.06.
+        assert done == [pytest.approx(0.16)]
+        assert st.mean_batch_size() == 1.0
+
+    def test_zero_timeout_serves_singly_when_idle(self):
+        sim = Simulation(0)
+        st = make_station(sim, batch_size=8, timeout=0.0)
+        done = []
+        st.on_departure = lambda r: done.append(sim.now)
+        sim.schedule(0.0, st.arrive, Request(0, created=0.0))
+        sim.run()
+        assert done == [pytest.approx(0.06)]
+
+    def test_backlog_forms_full_batches(self):
+        sim = Simulation(0)
+        st = make_station(sim, batch_size=4, timeout=0.5)
+        for i in range(12):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.run()
+        assert st.batches == 3
+        assert st.mean_batch_size() == 4.0
+        assert st.completions == 12
+
+    def test_batch_size_capped(self):
+        sim = Simulation(0)
+        st = make_station(sim, batch_size=4, timeout=0.5)
+        for i in range(6):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.run()
+        assert max(st._batch_sizes) == 4
+
+    def test_parallel_servers(self):
+        sim = Simulation(0)
+        st = make_station(sim, servers=2, batch_size=2, timeout=0.5)
+        done = []
+        st.on_departure = lambda r: done.append(sim.now)
+        for i in range(4):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.run()
+        # Two batches run concurrently: all 4 finish at 0.07.
+        assert done == [pytest.approx(0.07)] * 4
+
+
+class TestBatchingEconomics:
+    def test_batching_raises_throughput_ceiling(self):
+        """At high load, batch service beats serial service throughput."""
+        def run(batch_size):
+            sim = Simulation(1)
+            st = make_station(sim, batch_size=batch_size, timeout=0.02,
+                              base=0.05, per_item=0.01)
+            rng = sim.spawn_rng()
+
+            def gen(i=[0]):
+                if sim.now < 100.0:
+                    st.arrive(Request(i[0], created=sim.now))
+                    i[0] += 1
+                    sim.schedule(rng.exponential(1.0 / 40.0), gen)
+
+            sim.schedule(0.0, gen)
+            sim.run(until=100.0)
+            return st.completions
+
+        assert run(batch_size=8) > 2 * run(batch_size=1)
+
+    def test_pooled_arrivals_fill_batches_faster(self):
+        """The E8 effect: k-fold traffic fills batches in 1/k the time."""
+        def run(rate, seed=2):
+            sim = Simulation(seed)
+            st = make_station(sim, batch_size=8, timeout=0.25, base=0.05, per_item=0.005)
+            waits = []
+            st.on_departure = lambda r: waits.append(r.service_start - r.arrived)
+            rng = sim.spawn_rng()
+
+            def gen(i=[0]):
+                if sim.now < 300.0:
+                    st.arrive(Request(i[0], created=sim.now))
+                    i[0] += 1
+                    sim.schedule(rng.exponential(1.0 / rate), gen)
+
+            sim.schedule(0.0, gen)
+            sim.run(until=300.0)
+            return float(np.mean(waits)), st.mean_batch_size()
+
+        edge_wait, edge_b = run(rate=8.0)
+        cloud_wait, cloud_b = run(rate=40.0)
+        assert cloud_b > edge_b  # pooled traffic runs bigger batches
+        assert cloud_wait < edge_wait  # and waits less for them to fill
+
+
+class TestValidation:
+    def test_bad_args(self):
+        sim = Simulation(0)
+        bt = affine_batch_time(0.05, 0.01)
+        with pytest.raises(ValueError):
+            BatchingStation(sim, 0, 4, 0.1, bt)
+        with pytest.raises(ValueError):
+            BatchingStation(sim, 1, 0, 0.1, bt)
+        with pytest.raises(ValueError):
+            BatchingStation(sim, 1, 4, -0.1, bt)
+        with pytest.raises(ValueError):
+            affine_batch_time(-1.0, 0.01)
+        with pytest.raises(ValueError):
+            affine_batch_time(0.05, 0.0)
+
+    def test_conservation(self):
+        sim = Simulation(3)
+        st = make_station(sim, batch_size=3, timeout=0.05)
+        rng = sim.spawn_rng()
+
+        def gen(i=[0]):
+            if sim.now < 50.0:
+                st.arrive(Request(i[0], created=sim.now))
+                i[0] += 1
+                sim.schedule(rng.exponential(0.05), gen)
+
+        sim.schedule(0.0, gen)
+        sim.run()
+        assert st.completions == st.arrivals
+        assert st.queue_length == 0

@@ -1,0 +1,114 @@
+"""Tests for the closed-loop client model and the LB-overhead knob."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.distributions import Deterministic, Exponential
+from repro.sim.client import ClosedLoopSource, OpenLoopSource
+from repro.sim.engine import Simulation
+from repro.sim.network import ConstantLatency
+from repro.sim.topology import CloudDeployment, EdgeDeployment, EdgeSite
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+
+
+def run_closed(users, think_mean, duration=600.0, servers=1, seed=0):
+    sim = Simulation(seed)
+    cloud = CloudDeployment(
+        sim, servers=servers, latency=ConstantLatency(0.001), service_dist=SERVICE
+    )
+    src = ClosedLoopSource(
+        sim, cloud, users=users, think=Exponential(think_mean), stop_time=duration
+    )
+    sim.run()
+    return cloud, src
+
+
+class TestClosedLoopSource:
+    def test_concurrency_never_exceeds_population(self):
+        cloud, src = run_closed(users=4, think_mean=0.01, duration=200.0)
+        st = cloud.stations[0]
+        # With 4 users, at most 4 requests can ever be in the station.
+        assert st.arrivals == len(cloud.log)
+        bd = cloud.log.breakdown()
+        # Queue wait is bounded: at most 3 requests ahead of you.
+        assert bd.wait.max() < 10 * (4 / MU)
+
+    def test_interactive_law(self):
+        """Closed-system throughput: X = N / (E[T] + E[Z])."""
+        cloud, src = run_closed(users=10, think_mean=0.5, duration=2000.0, servers=4)
+        bd = cloud.log.breakdown()
+        duration = bd.created.max() - bd.created.min()
+        throughput = len(bd) / duration
+        expected = 10.0 / (bd.end_to_end.mean() + 0.5)
+        assert throughput == pytest.approx(expected, rel=0.05)
+
+    def test_self_throttles_under_congestion(self):
+        """Closed loop saturates gracefully where open loop diverges."""
+        # Open loop at rho=1.3 on one server: waits grow with the run.
+        sim = Simulation(1)
+        open_cloud = CloudDeployment(
+            sim, servers=1, latency=ConstantLatency(0.001), service_dist=SERVICE
+        )
+        OpenLoopSource(sim, open_cloud, Exponential(1.0 / 17.0), stop_time=400.0)
+        sim.run()
+        open_wait = open_cloud.log.breakdown().after(200.0).wait.mean()
+        # Closed loop with enough users to saturate: bounded waits.
+        closed_cloud, _ = run_closed(users=8, think_mean=0.01, duration=400.0)
+        closed_wait = closed_cloud.log.breakdown().after(200.0).wait.mean()
+        assert closed_wait < open_wait / 3
+
+    def test_works_on_edge_deployment(self):
+        sim = Simulation(2)
+        edge = EdgeDeployment(
+            sim, [EdgeSite(sim, "s0", 1, ConstantLatency(0.001), SERVICE)]
+        )
+        src = ClosedLoopSource(
+            sim, edge, users=3, think=Exponential(0.1), site="s0", stop_time=200.0
+        )
+        sim.run()
+        assert len(edge.log) == src.generated
+        assert len(edge.log) > 100
+
+    def test_chains_existing_hook(self):
+        sim = Simulation(3)
+        cloud = CloudDeployment(
+            sim, servers=1, latency=ConstantLatency(0.0), service_dist=SERVICE
+        )
+        seen = []
+        cloud.on_complete = seen.append
+        ClosedLoopSource(sim, cloud, users=2, think=Deterministic(0.05), stop_time=50.0)
+        sim.run()
+        assert len(seen) == len(cloud.log)
+
+    def test_validation(self):
+        sim = Simulation(0)
+        cloud = CloudDeployment(sim, servers=1, latency=ConstantLatency(0.0))
+        with pytest.raises(ValueError):
+            ClosedLoopSource(sim, cloud, users=0, think=Deterministic(0.1))
+        with pytest.raises(TypeError):
+            ClosedLoopSource(sim, object(), users=1, think=Deterministic(0.1))
+
+
+class TestLbOverhead:
+    def test_adds_to_network_time(self):
+        sim = Simulation(0)
+        cloud = CloudDeployment(
+            sim, servers=1, latency=ConstantLatency(0.020),
+            service_dist=Deterministic(0.01), lb_overhead=0.002,
+        )
+        from repro.sim.request import Request
+
+        req = Request(0, created=0.0)
+        sim.schedule(0.0, cloud.submit, req)
+        sim.run()
+        # one-way 10ms + 2ms LB + return 10ms.
+        assert req.network_time == pytest.approx(0.022)
+
+    def test_negative_rejected(self):
+        sim = Simulation(0)
+        with pytest.raises(ValueError):
+            CloudDeployment(
+                sim, servers=1, latency=ConstantLatency(0.0), lb_overhead=-0.001
+            )

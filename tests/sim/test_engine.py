@@ -1,0 +1,116 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulation
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulation(0)
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulation(0)
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation(0)
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation(0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation(0)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation(0)
+        hits = []
+
+        def chain(n):
+            hits.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, chain, n - 1)
+
+        sim.schedule(0.0, chain, 3)
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulation(0)
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        end = sim.run(until=5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_resumes_after_until(self):
+        sim = Simulation(0)
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 2)
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_run_until_with_empty_calendar_advances_clock(self):
+        sim = Simulation(0)
+        assert sim.run(until=7.0) == 7.0
+
+    def test_stop_halts_processing(self):
+        sim = Simulation(0)
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.stop()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+        assert sim.pending_events == 1
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulation(0)
+
+        def nested():
+            sim.run()
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestRng:
+    def test_same_seed_same_streams(self):
+        a, b = Simulation(7), Simulation(7)
+        assert a.spawn_rng().random() == b.spawn_rng().random()
+
+    def test_spawned_streams_differ(self):
+        sim = Simulation(7)
+        assert sim.spawn_rng().random() != sim.spawn_rng().random()

@@ -1,0 +1,116 @@
+"""Tests for station failure semantics and the failure injector."""
+
+import pytest
+
+from repro.queueing.distributions import Deterministic, Exponential
+from repro.sim.client import OpenLoopSource
+from repro.sim.engine import Simulation
+from repro.sim.failures import FailureInjector
+from repro.sim.network import ConstantLatency
+from repro.sim.request import Request
+from repro.sim.station import Station
+from repro.sim.topology import EdgeDeployment, EdgeSite
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+
+
+class TestStationFailSemantics:
+    def test_failed_station_queues_arrivals(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, Deterministic(0.1))
+        sim.schedule(0.0, st.fail)
+        sim.schedule(0.1, st.arrive, Request(0, created=0.1))
+        sim.run(until=1.0)
+        assert st.queue_length == 1
+        assert st.completions == 0
+
+    def test_in_flight_work_finishes_gracefully(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, Deterministic(1.0))
+        done = []
+        st.on_departure = lambda r: done.append(sim.now)
+        sim.schedule(0.0, st.arrive, Request(0, created=0.0))
+        sim.schedule(0.5, st.fail)
+        sim.run(until=2.0)
+        assert done == [1.0]  # finished despite the failure mid-service
+
+    def test_repair_drains_backlog(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, Deterministic(0.1))
+        done = []
+        st.on_departure = lambda r: done.append(r.rid)
+        sim.schedule(0.0, st.fail)
+        for i in range(3):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.schedule(1.0, st.repair)
+        sim.run()
+        assert done == [0, 1, 2]
+        assert st.failed is False
+
+    def test_scale_up_while_failed_does_not_start_work(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, Deterministic(0.1))
+        sim.schedule(0.0, st.fail)
+        sim.schedule(0.0, st.arrive, Request(0, created=0.0))
+        sim.schedule(0.1, st.set_servers, 4)
+        sim.run(until=1.0)
+        assert st.completions == 0
+
+    def test_bounded_queue_drops_during_outage(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, Deterministic(0.1), queue_capacity=1)
+        sim.schedule(0.0, st.fail)
+        for i in range(3):
+            sim.schedule(0.0, st.arrive, Request(i, created=0.0))
+        sim.run(until=0.5)
+        assert st.drops == 2
+
+
+class TestFailureInjector:
+    def _run(self, mtbf, mttr, duration=2000.0, seed=3):
+        sim = Simulation(seed)
+        site = EdgeSite(sim, "s0", 1, ConstantLatency(0.001), SERVICE)
+        edge = EdgeDeployment(sim, [site])
+        OpenLoopSource(sim, edge, Exponential(1.0 / 5.0), site="s0", stop_time=duration)
+        inj = FailureInjector(sim, [site.station], mtbf=mtbf, mttr=mttr, stop_time=duration)
+        sim.run()
+        return edge, inj
+
+    def test_availability_matches_mtbf_mttr(self):
+        edge, inj = self._run(mtbf=100.0, mttr=25.0)
+        # Steady-state availability = mtbf / (mtbf + mttr) = 0.8.
+        assert inj.mean_availability() == pytest.approx(0.8, abs=0.08)
+        assert inj.failures > 5
+
+    def test_all_requests_eventually_served(self):
+        edge, inj = self._run(mtbf=50.0, mttr=10.0, duration=500.0)
+        bd = edge.log.breakdown()
+        assert len(bd) > 1000  # nothing lost (unbounded queues)
+
+    def test_outages_inflate_tail_latency(self):
+        import numpy as np
+
+        healthy, _ = self._run(mtbf=1e9, mttr=1.0)
+        failing, _ = self._run(mtbf=100.0, mttr=25.0)
+        h = np.quantile(healthy.log.breakdown().end_to_end, 0.99)
+        f = np.quantile(failing.log.breakdown().end_to_end, 0.99)
+        assert f > 5 * h
+
+    def test_no_failures_past_stop_time(self):
+        _, inj = self._run(mtbf=40.0, mttr=10.0, duration=300.0)
+        # All stations repaired at the end (calendar drained).
+        assert all(name not in inj._down_since for name in inj._downtime)
+
+    def test_validation(self):
+        sim = Simulation(0)
+        st = Station(sim, 1, SERVICE)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, [], 10.0, 1.0, 100.0)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, [st], 0.0, 1.0, 100.0)
+        with pytest.raises(ValueError):
+            FailureInjector(sim, [st], 10.0, 1.0, 0.0)
+        inj = FailureInjector(sim, [st], 10.0, 1.0, 100.0)
+        with pytest.raises(KeyError):
+            inj.availability("nope")

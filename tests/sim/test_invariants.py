@@ -1,0 +1,109 @@
+"""System-level invariants of the simulator.
+
+Conservation (every generated request completes), Little's law on the
+measured time-averages, PASTA-consistent utilization, and stability of
+the decomposition identity under every deployment shape — the checks
+that catch subtle accounting bugs no example-based test would.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.distributions import Exponential
+from repro.sim.client import OpenLoopSource
+from repro.sim.engine import Simulation
+from repro.sim.loadbalancer import JoinShortestQueue, RandomDispatch, RoundRobin
+from repro.sim.network import ConstantLatency
+from repro.sim.topology import CloudDeployment, EdgeDeployment, EdgeSite
+
+MU = 13.0
+SERVICE = Exponential(1.0 / MU)
+
+
+def run_cloud(seed, rate=8.0, servers=2, duration=400.0, policy=None, backends=None):
+    sim = Simulation(seed)
+    cloud = CloudDeployment(
+        sim, servers=servers, latency=ConstantLatency(0.001),
+        service_dist=SERVICE, policy=policy, backends=backends,
+    )
+    src = OpenLoopSource(sim, cloud, Exponential(1.0 / rate), stop_time=duration)
+    sim.run()
+    return sim, cloud, src
+
+
+class TestConservation:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_every_generated_request_completes(self, seed):
+        _, cloud, src = run_cloud(seed, duration=100.0)
+        assert len(cloud.log) == src.generated
+
+    def test_conservation_with_dispatch_policies(self):
+        for policy in (RoundRobin(), RandomDispatch(), JoinShortestQueue()):
+            _, cloud, src = run_cloud(3, servers=4, policy=policy, backends=4)
+            assert len(cloud.log) == src.generated
+
+    def test_conservation_in_edge_deployment(self):
+        sim = Simulation(5)
+        edge = EdgeDeployment(
+            sim,
+            [EdgeSite(sim, f"s{i}", 1, ConstantLatency(0.001), SERVICE) for i in range(3)],
+        )
+        sources = [
+            OpenLoopSource(sim, edge, Exponential(1.0 / 5.0), site=f"s{i}", stop_time=200.0)
+            for i in range(3)
+        ]
+        sim.run()
+        assert len(edge.log) == sum(s.generated for s in sources)
+
+
+class TestLittlesLaw:
+    def test_station_queue_length_is_lambda_times_wait(self):
+        sim, cloud, _ = run_cloud(7, rate=20.0, servers=2, duration=3000.0)
+        station = cloud.stations[0]
+        bd = cloud.log.breakdown()
+        lam = len(bd) / sim.now
+        # L_q (time-average, exact integral) = lambda * E[Wq] (per-request).
+        assert station.mean_queue_length() == pytest.approx(
+            lam * bd.wait.mean(), rel=0.1
+        )
+
+    def test_utilization_is_offered_load(self):
+        sim, cloud, _ = run_cloud(8, rate=20.0, servers=2, duration=3000.0)
+        station = cloud.stations[0]
+        # rho = lambda / (k mu).
+        assert station.utilization() == pytest.approx(20.0 / (2 * MU), rel=0.05)
+
+
+class TestDecomposition:
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_identity_holds_for_every_request(self, seed):
+        _, cloud, _ = run_cloud(seed, duration=60.0)
+        bd = cloud.log.breakdown()
+        np.testing.assert_allclose(
+            bd.end_to_end, bd.network + bd.wait + bd.service, atol=1e-9
+        )
+
+    def test_waits_and_components_nonnegative(self):
+        _, cloud, _ = run_cloud(9, rate=24.0, servers=2, duration=300.0)
+        bd = cloud.log.breakdown()
+        assert bd.wait.min() >= 0
+        assert bd.service.min() >= 0
+        assert bd.network.min() >= 0
+
+
+class TestMonotonicity:
+    def test_more_servers_never_increase_mean_wait(self):
+        waits = []
+        for servers in (1, 2, 4):
+            _, cloud, _ = run_cloud(11, rate=10.0, servers=servers, duration=1500.0)
+            waits.append(cloud.log.breakdown().wait.mean())
+        assert waits[0] >= waits[1] >= waits[2]
+
+    def test_higher_rate_increases_mean_wait(self):
+        lo_sim, lo, _ = run_cloud(12, rate=6.0, servers=1, duration=1500.0)
+        hi_sim, hi, _ = run_cloud(12, rate=11.0, servers=1, duration=1500.0)
+        assert hi.log.breakdown().wait.mean() > lo.log.breakdown().wait.mean()

@@ -1,0 +1,58 @@
+"""Tests for the request lifecycle record."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.request import Request
+
+
+class TestLifecycle:
+    def test_fresh_request_incomplete(self):
+        r = Request(1, site="s0", created=0.0)
+        assert not r.is_complete
+        assert math.isnan(r.wait)
+        assert math.isnan(r.end_to_end)
+
+    def test_manual_lifecycle(self):
+        r = Request(2, created=1.0)
+        r.arrived = 1.01
+        r.service_start = 1.05
+        r.service_time = 0.2
+        r.service_end = 1.25
+        r.completed = 1.26
+        assert r.wait == pytest.approx(0.04)
+        assert r.server_time == pytest.approx(0.24)
+        assert r.network_time == pytest.approx(0.02)
+        assert r.end_to_end == pytest.approx(0.26)
+        assert r.is_complete
+
+    @given(
+        created=st.floats(min_value=0.0, max_value=1e6),
+        leg1=st.floats(min_value=0.0, max_value=10.0),
+        wait=st.floats(min_value=0.0, max_value=100.0),
+        service=st.floats(min_value=0.0, max_value=100.0),
+        leg2=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100)
+    def test_decomposition_identity_property(self, created, leg1, wait, service, leg2):
+        r = Request(0, created=created)
+        r.arrived = created + leg1
+        r.service_start = r.arrived + wait
+        r.service_time = service
+        r.service_end = r.service_start + service
+        r.completed = r.service_end + leg2
+        assert r.end_to_end == pytest.approx(
+            r.network_time + r.wait + r.service_time, rel=1e-9, abs=1e-9
+        )
+        assert r.network_time == pytest.approx(leg1 + leg2, rel=1e-6, abs=1e-9)
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        r = Request(0, created=0.0)
+        with pytest.raises(AttributeError):
+            r.extra_field = 1
+
+    def test_repr_mentions_state(self):
+        assert "complete=False" in repr(Request(0, created=0.0))

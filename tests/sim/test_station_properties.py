@@ -1,0 +1,94 @@
+"""Property-based tests for station semantics under random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.distributions import Exponential
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+from repro.sim.station import Station
+
+
+def drive_station(seed, servers, n, queue_capacity=None):
+    sim = Simulation(seed)
+    departed = []
+    st_ = Station(
+        sim, servers, Exponential(0.08),
+        on_departure=departed.append, queue_capacity=queue_capacity,
+    )
+    rng = sim.spawn_rng()
+    t = 0.0
+    for i in range(n):
+        t += float(rng.exponential(0.05))
+        sim.schedule_at(t, st_.arrive, Request(i, created=t))
+    sim.run()
+    return st_, departed
+
+
+class TestStationProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        servers=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_unbounded(self, seed, servers, n):
+        st_, departed = drive_station(seed, servers, n)
+        assert st_.arrivals == n
+        assert st_.completions == n
+        assert len(departed) == n
+        assert st_.busy == 0 and st_.queue_length == 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        n=st.integers(min_value=2, max_value=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fcfs_single_server_departure_order(self, seed, n):
+        _, departed = drive_station(seed, 1, n)
+        rids = [r.rid for r in departed]
+        assert rids == sorted(rids)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        servers=st.integers(min_value=1, max_value=3),
+        n=st.integers(min_value=1, max_value=80),
+        cap=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_accounting(self, seed, servers, n, cap):
+        st_, departed = drive_station(seed, servers, n, queue_capacity=cap)
+        assert st_.completions + st_.drops == n
+        assert len(departed) == st_.completions
+        assert 0.0 <= st_.loss_rate <= 1.0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        servers=st.integers(min_value=1, max_value=4),
+        n=st.integers(min_value=5, max_value=80),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_timestamps_ordered_per_request(self, seed, servers, n):
+        _, departed = drive_station(seed, servers, n)
+        for r in departed:
+            assert r.created <= r.arrived <= r.service_start <= r.service_end
+
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        n=st.integers(min_value=10, max_value=80),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_busy_never_exceeds_servers(self, seed, n):
+        """Start times never overlap more than `servers` deep."""
+        _, departed = drive_station(seed, 2, n)
+        events = []
+        for r in departed:
+            events.append((r.service_start, 1))
+            events.append((r.service_end, -1))
+        concurrency = 0
+        # Process ends before starts at equal times: a queued request
+        # legitimately starts the instant its predecessor finishes.
+        for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            concurrency += delta
+            assert concurrency <= 2

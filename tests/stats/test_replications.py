@@ -1,0 +1,102 @@
+"""Tests for the independent-replications machinery."""
+
+import numpy as np
+import pytest
+
+from repro.stats.replications import (
+    ReplicationSummary,
+    replicate,
+    replications_for_precision,
+)
+
+
+def noisy_experiment(seed):
+    return float(np.random.default_rng(seed).normal(10.0, 1.0))
+
+
+class TestReplicate:
+    def test_runs_r_times_with_distinct_seeds(self):
+        seen = []
+
+        def exp(seed):
+            seen.append(seed)
+            return float(seed)
+
+        s = replicate(exp, 5, base_seed=100)
+        assert seen == [100, 101, 102, 103, 104]
+        assert s.n == 5
+        assert s.mean == pytest.approx(102.0)
+
+    def test_ci_covers_true_mean(self):
+        s = replicate(noisy_experiment, 30, base_seed=0)
+        assert s.contains(10.0)
+        assert s.half_width < 1.0
+
+    def test_deterministic_experiment_zero_width(self):
+        s = replicate(lambda seed: 5.0, 10)
+        assert s.std == 0.0
+        assert s.half_width == 0.0
+        assert s.relative_half_width == 0.0
+
+    def test_str_renders(self):
+        assert "CI" in str(replicate(noisy_experiment, 5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(noisy_experiment, 1)
+        with pytest.raises(ValueError):
+            replicate(noisy_experiment, 5, confidence=1.5)
+
+
+class TestSummaryEdgeCases:
+    def test_single_value_infinite_width(self):
+        s = ReplicationSummary(values=(3.0,), confidence=0.95)
+        assert s.half_width == float("inf")
+
+    def test_zero_mean_relative_width(self):
+        s = ReplicationSummary(values=(-1.0, 1.0), confidence=0.95)
+        assert s.relative_half_width == float("inf")
+
+
+class TestSequentialPrecision:
+    def test_reaches_target(self):
+        s = replications_for_precision(
+            noisy_experiment, 0.05, initial=5, max_replications=80
+        )
+        assert s.relative_half_width <= 0.05
+        assert 5 <= s.n <= 80
+
+    def test_stops_early_for_stable_experiments(self):
+        s = replications_for_precision(lambda seed: 7.0, 0.01, initial=3)
+        assert s.n == 3
+
+    def test_gives_up_past_cap(self):
+        def very_noisy(seed):
+            return float(np.random.default_rng(seed).normal(0.1, 50.0))
+
+        with pytest.raises(RuntimeError):
+            replications_for_precision(very_noisy, 0.01, initial=3, max_replications=6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replications_for_precision(noisy_experiment, 0.0)
+        with pytest.raises(ValueError):
+            replications_for_precision(noisy_experiment, 0.1, initial=1)
+
+    def test_simulation_use_case(self):
+        """Replications give a defensible CI on an actual latency metric."""
+        from repro.queueing.distributions import Exponential
+        from repro.queueing.mm1 import MM1
+        from repro.sim.network import ConstantLatency
+        from repro.sim.runner import run_deployment
+
+        def one_run(seed):
+            bd = run_deployment(
+                "edge", sites=1, servers_per_site=1, rate_per_site=8.0,
+                service_dist=Exponential(1.0 / 13.0),
+                latency=ConstantLatency(0.0), duration=400.0, seed=seed,
+            )
+            return float(bd.end_to_end.mean())
+
+        s = replicate(one_run, 8, base_seed=3)
+        assert s.contains(MM1(8.0, 13.0).mean_response())

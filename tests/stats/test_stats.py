@@ -1,0 +1,150 @@
+"""Tests for the measurement utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.ci import batch_means_ci
+from repro.stats.summary import summarize
+from repro.stats.timeseries import windowed_mean, windowed_percentile
+from repro.stats.warmup import mser_cutoff, trim_warmup
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.iqr == pytest.approx(s.p75 - s.p25)
+
+    def test_quantile_ordering(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.exponential(1.0, 10_000))
+        assert s.p25 <= s.p50 <= s.p75 <= s.p95 <= s.p99 <= s.max
+
+    def test_cv2(self):
+        rng = np.random.default_rng(1)
+        s = summarize(rng.exponential(2.0, 200_000))
+        assert s.cv2 == pytest.approx(1.0, rel=0.05)
+
+    def test_as_ms(self):
+        s = summarize(np.array([0.5]))
+        assert s.as_ms()["mean"] == pytest.approx(500.0)
+
+    def test_str_renders(self):
+        assert "p95" in str(summarize(np.array([0.1, 0.2])))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            summarize(np.array([]))
+        with pytest.raises(ValueError):
+            summarize(np.array([1.0, -1.0]))
+        with pytest.raises(ValueError):
+            summarize(np.array([1.0, np.nan]))
+
+
+class TestWindowedSeries:
+    def test_windowed_mean(self):
+        t = np.array([0.5, 0.6, 1.5])
+        v = np.array([1.0, 3.0, 10.0])
+        starts, means = windowed_mean(t, v, 1.0, horizon=3.0)
+        np.testing.assert_allclose(starts, [0.0, 1.0, 2.0])
+        assert means[0] == pytest.approx(2.0)
+        assert means[1] == pytest.approx(10.0)
+        assert np.isnan(means[2])
+
+    def test_windowed_percentile(self):
+        t = np.repeat([0.5, 1.5], 100)
+        v = np.concatenate([np.linspace(0, 1, 100), np.linspace(10, 11, 100)])
+        starts, p95 = windowed_percentile(t, v, 1.0, 0.95)
+        assert p95[0] == pytest.approx(0.95, abs=0.02)
+        assert p95[1] == pytest.approx(10.95, abs=0.02)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_mean(np.array([1.0]), np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            windowed_percentile(np.array([1.0]), np.array([1.0, 2.0]), 1.0, 0.5)
+
+    def test_bad_params_rejected(self):
+        t = v = np.array([1.0])
+        with pytest.raises(ValueError):
+            windowed_mean(t, v, 0.0)
+        with pytest.raises(ValueError):
+            windowed_percentile(t, v, 1.0, 1.5)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30)
+    def test_mean_of_window_means_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        t = np.sort(rng.uniform(0, 10, 500))
+        v = rng.exponential(1.0, 500)
+        _, means = windowed_mean(t, v, 10.0, horizon=10.0)
+        assert means[0] == pytest.approx(v.mean())
+
+
+class TestBatchMeansCI:
+    def test_covers_iid_mean(self):
+        rng = np.random.default_rng(2)
+        x = rng.exponential(1.0, 100_000)
+        mean, hw = batch_means_ci(x, batches=20)
+        assert abs(mean - 1.0) < 3 * hw
+        assert hw < 0.05
+
+    def test_wider_for_autocorrelated_data(self):
+        rng = np.random.default_rng(3)
+        iid = rng.normal(0.0, 1.0, 40_000)
+        # AR(1) with strong positive correlation.
+        ar = np.empty(40_000)
+        ar[0] = 0.0
+        noise = rng.normal(0.0, 1.0, 40_000)
+        for i in range(1, 40_000):
+            ar[i] = 0.95 * ar[i - 1] + noise[i]
+        _, hw_iid = batch_means_ci(iid)
+        _, hw_ar = batch_means_ci(ar)
+        assert hw_ar > 2 * hw_iid
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci(np.ones(100), batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci(np.ones(10), batches=20)
+        with pytest.raises(ValueError):
+            batch_means_ci(np.ones(100), confidence=1.0)
+
+
+class TestWarmup:
+    def test_mser_detects_transient(self):
+        rng = np.random.default_rng(4)
+        transient = np.linspace(5.0, 1.0, 500) + rng.normal(0, 0.1, 500)
+        steady = 1.0 + rng.normal(0, 0.1, 4500)
+        cut = mser_cutoff(np.concatenate([transient, steady]))
+        assert 200 <= cut <= 1500
+
+    def test_mser_zero_for_stationary(self):
+        rng = np.random.default_rng(5)
+        cut = mser_cutoff(rng.normal(1.0, 0.1, 5000))
+        assert cut < 1500
+
+    def test_short_series_uncut(self):
+        assert mser_cutoff(np.ones(5)) == 0
+
+    def test_trim_fraction(self):
+        x = np.arange(100.0)
+        assert trim_warmup(x, fraction=0.25).size == 75
+
+    def test_trim_auto_uses_mser(self):
+        rng = np.random.default_rng(6)
+        x = np.concatenate([np.full(500, 10.0), rng.normal(1.0, 0.1, 4500)])
+        trimmed = trim_warmup(x)
+        assert trimmed.size < x.size
+        assert trimmed.mean() < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trim_warmup(np.ones(10), fraction=1.0)
+        with pytest.raises(ValueError):
+            mser_cutoff(np.ones(10), batch=0)

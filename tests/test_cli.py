@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCliBasics:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "Regenerate experiments" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+
+class TestCutoffCommand:
+    def test_basic_query(self, capsys):
+        assert main(["cutoff", "--cloud-rtt", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "mean-latency cutoff" in out
+        assert "p95-latency" in out
+
+    def test_requires_cloud_rtt(self):
+        with pytest.raises(SystemExit):
+            main(["cutoff"])
+
+    def test_machines_option(self, capsys):
+        assert main(["cutoff", "--cloud-rtt", "54", "--machines", "2"]) == 0
+        assert "k=10 machines" in capsys.readouterr().out
+
+
+class TestSensitivityCommand:
+    def test_runs_and_prints_sweeps(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "cores" in out and "cloud RTT" in out and "p95 cutoff" in out
+
+
+class TestDumpCommand:
+    def test_dump_subset(self, tmp_path, capsys):
+        assert main(["dump", "--outdir", str(tmp_path), "--figures", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+        assert (tmp_path / "fig2.json").exists()
+
+    def test_dump_unknown_figure(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(["dump", "--outdir", str(tmp_path), "--figures", "fig99"])
+
+
+class TestExperimentCommands:
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_seed_override(self, capsys):
+        assert main(["fig2", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fig2", "--seed", "7"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # deterministic given seed

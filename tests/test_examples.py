@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run end-to-end and say what they claim.
+
+Only the faster examples run here (the full set is exercised manually /
+in benchmarks); each is executed as a real subprocess, the way a user
+would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_capacity_planning(self):
+        out = run_example("capacity_planning.py")
+        assert "two-sigma capacity penalty" in out
+        assert "penalty" in out and "stable: True" in out
+
+    def test_slo_cost_analysis(self):
+        out = run_example("slo_cost_analysis.py")
+        assert "edge-only regime" in out
+        assert "p95 SLO" in out
+
+    def test_workload_audit(self):
+        out = run_example("workload_audit.py")
+        assert "Workload profile" in out
+        assert "INVERSION RISK" in out or "edge SAFE" in out
+
+    def test_multi_region(self):
+        out = run_example("multi_region.py")
+        assert "INVERTED" in out
+        assert "metro" in out and "remote" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", timeout=600)
+        assert "crossover" in out
+
+    def test_geo_load_balancing(self):
+        out = run_example("geo_load_balancing.py", timeout=600)
+        assert "beats cloud" in out
+
+    def test_azure_trace_replay(self):
+        out = run_example("azure_trace_replay.py", timeout=600)
+        assert "Per-minute comparison" in out
+
+    def test_production_serving(self):
+        out = run_example("production_serving.py", timeout=600)
+        assert "fleet availability" in out

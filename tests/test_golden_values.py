@@ -1,0 +1,60 @@
+"""Golden-value regression locks.
+
+Key reproduction numbers at fixed seeds, asserted with tolerances tight
+enough to catch silent behavioural drift in refactors but loose enough
+to survive numerically equivalent reorderings.  If one of these fails
+after an intentional change, re-derive the value, update it here and
+record the change in CHANGELOG.md.
+"""
+
+import pytest
+
+from repro.core.capacity import edge_peak_capacity, provisioning_penalty
+from repro.core.comparator import EdgeCloudComparator
+from repro.core.inversion import calibrate_time_unit, cutoff_utilization_exact
+from repro.core.scenarios import TYPICAL_CLOUD
+from repro.core.tail import cutoff_utilization_tail
+
+
+class TestAnalyticGoldens:
+    """Pure math: exact to many digits, locked tightly."""
+
+    def test_typical_cloud_exact_mean_cutoff(self):
+        s = TYPICAL_CLOUD
+        rho = cutoff_utilization_exact(
+            s.delta_n, s.service.core_service_rate,
+            s.edge_servers_per_site, s.cloud_servers, cs2=s.service.cv2,
+        )
+        assert rho == pytest.approx(0.6328, abs=0.002)
+
+    def test_typical_cloud_tail_cutoff(self):
+        s = TYPICAL_CLOUD
+        rho = cutoff_utilization_tail(
+            s.delta_n, s.service.core_service_rate,
+            s.edge_servers_per_site, s.cloud_servers, q=0.95,
+        )
+        assert rho == pytest.approx(0.557, abs=0.005)
+
+    def test_paper_unit_calibration(self):
+        assert calibrate_time_unit(0.030, 5, 0.64) == pytest.approx(0.01382, abs=2e-4)
+
+    def test_capacity_penalty(self):
+        assert edge_peak_capacity(100.0, 5) == pytest.approx(144.72, abs=0.01)
+        assert provisioning_penalty(100.0, 5) == pytest.approx(1.206, abs=0.002)
+
+
+class TestSimulatedGoldens:
+    """Fixed-seed simulations: locked to the stochastic tolerance."""
+
+    def test_fig3_crossover_band(self):
+        cmp_ = EdgeCloudComparator(TYPICAL_CLOUD, requests_per_site=30_000, seed=2021)
+        res = cmp_.sweep([6, 7, 8, 9, 10])
+        x = res.crossover_rate("mean")
+        assert x == pytest.approx(8.1, abs=0.6)
+
+    def test_point_measurement_reproducible(self):
+        a = EdgeCloudComparator(TYPICAL_CLOUD, requests_per_site=20_000, seed=7)
+        b = EdgeCloudComparator(TYPICAL_CLOUD, requests_per_site=20_000, seed=7)
+        pa, pb = a.measure_point(8.0), b.measure_point(8.0)
+        assert pa.edge.mean == pb.edge.mean  # bit-identical given the seed
+        assert pa.cloud.p95 == pb.cloud.p95

@@ -1,0 +1,60 @@
+"""Public-API surface tests: every documented export exists and imports.
+
+A release-gate test: `__all__` in each package must resolve, and the
+lazy top-level exports must work (PEP 562 indirection is easy to break
+silently when moving symbols)."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.queueing",
+    "repro.sim",
+    "repro.workload",
+    "repro.core",
+    "repro.mitigation",
+    "repro.stats",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        assert getattr(mod, name) is not None, f"{package}.{name} missing"
+
+
+def test_top_level_lazy_exports():
+    import repro
+
+    assert repro.EdgeCloudComparator is not None
+    assert repro.TYPICAL_CLOUD.cloud_rtt_ms == 24.0
+    assert callable(repro.cutoff_utilization_exact)
+
+
+def test_top_level_unknown_attribute():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_dir_lists_exports():
+    import repro
+
+    assert "EdgeCloudComparator" in dir(repro)
+
+
+def test_version_is_set():
+    import repro
+
+    assert repro.__version__
+
+
+def test_cli_entrypoint_importable():
+    from repro.cli import main
+
+    assert callable(main)

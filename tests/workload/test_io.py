@@ -1,0 +1,94 @@
+"""Tests for trace persistence (CSV / NPZ round-trips)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.workload.trace import RequestTrace
+
+
+def make_trace(n=50, seed=0, with_services=True):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(0.1, n))
+    services = rng.exponential(0.05, n) if with_services else None
+    return RequestTrace(times, services)
+
+
+class TestCsvRoundTrip:
+    def test_with_services(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "trace.csv"
+        save_trace_csv(t, path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_allclose(loaded.arrival_times, t.arrival_times)
+        np.testing.assert_allclose(loaded.service_times, t.service_times)
+
+    def test_without_services(self, tmp_path):
+        t = make_trace(with_services=False)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(t, path)
+        loaded = load_trace_csv(path)
+        np.testing.assert_allclose(loaded.arrival_times, t.arrival_times)
+        assert loaded.service_times is None
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace_csv(RequestTrace(np.empty(0)), path)
+        assert len(load_trace_csv(path)) == 0
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,foo\n1.0,2.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("arrival_time,service_time\n1.0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "nothing.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_csv(path)
+
+
+class TestNpzRoundTrip:
+    def test_with_services(self, tmp_path):
+        t = make_trace(n=200, seed=1)
+        path = tmp_path / "trace.npz"
+        save_trace_npz(t, path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.arrival_times, t.arrival_times)
+        np.testing.assert_array_equal(loaded.service_times, t.service_times)
+
+    def test_without_services(self, tmp_path):
+        t = make_trace(with_services=False)
+        path = tmp_path / "trace.npz"
+        save_trace_npz(t, path)
+        assert load_trace_npz(path).service_times is None
+
+    def test_missing_arrivals_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.array([1.0]))
+        with pytest.raises(ValueError, match="arrival_times"):
+            load_trace_npz(path)
+
+    @given(n=st.integers(min_value=1, max_value=200), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_lossless_property(self, tmp_path_factory, n, seed):
+        t = make_trace(n=n, seed=seed)
+        path = tmp_path_factory.mktemp("npz") / "t.npz"
+        save_trace_npz(t, path)
+        loaded = load_trace_npz(path)
+        np.testing.assert_array_equal(loaded.arrival_times, t.arrival_times)
+        np.testing.assert_array_equal(loaded.service_times, t.service_times)

@@ -1,0 +1,59 @@
+"""Tests for the non-homogeneous Poisson (thinning) process."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import NonHomogeneousPoisson
+
+
+class TestNonHomogeneousPoisson:
+    def test_constant_rate_reduces_to_poisson(self):
+        p = NonHomogeneousPoisson(lambda t: 10.0, max_rate=10.0, mean_rate=10.0)
+        t = p.generate(np.random.default_rng(0), horizon=3000.0)
+        assert t.mean_rate == pytest.approx(10.0, rel=0.05)
+        assert t.interarrival_cv2() == pytest.approx(1.0, rel=0.1)
+
+    def test_diurnal_envelope_followed(self):
+        period = 1000.0
+
+        def rate(t):
+            return 10.0 * (1.0 + 0.8 * np.sin(2 * np.pi * t / period))
+
+        p = NonHomogeneousPoisson(rate, max_rate=18.0, mean_rate=10.0)
+        trace = p.generate(np.random.default_rng(1), horizon=5 * period)
+        starts, rates = trace.windowed_rates(period / 4.0, horizon=5 * period)
+        # Peak quarter-windows must clearly exceed trough windows.
+        assert np.nanmax(rates) > 2.0 * np.nanmin(rates)
+
+    def test_zero_rate_interval_has_no_arrivals(self):
+        p = NonHomogeneousPoisson(
+            lambda t: 0.0 if t < 50.0 else 20.0, max_rate=20.0, mean_rate=10.0
+        )
+        trace = p.generate(np.random.default_rng(2), horizon=100.0)
+        assert trace.arrival_times.min() >= 50.0
+
+    def test_rate_fn_exceeding_max_rejected(self):
+        p = NonHomogeneousPoisson(lambda t: 30.0, max_rate=20.0)
+        with pytest.raises(ValueError, match="max_rate"):
+            p.generate(np.random.default_rng(3), horizon=50.0)
+
+    def test_horizon_mode_only(self):
+        p = NonHomogeneousPoisson(lambda t: 5.0, max_rate=5.0)
+        with pytest.raises(ValueError):
+            p.generate(np.random.default_rng(0), n=100)
+        with pytest.raises(ValueError):
+            p.generate(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            p.generate(np.random.default_rng(0), horizon=-1.0)
+
+    def test_invalid_max_rate(self):
+        with pytest.raises(ValueError):
+            NonHomogeneousPoisson(lambda t: 1.0, max_rate=0.0)
+
+    def test_burstier_than_poisson_under_modulation(self):
+        def rate(t):
+            return 2.0 if int(t / 100.0) % 2 == 0 else 18.0
+
+        p = NonHomogeneousPoisson(rate, max_rate=18.0, mean_rate=10.0)
+        trace = p.generate(np.random.default_rng(4), horizon=8000.0)
+        assert trace.interarrival_cv2() > 1.2
