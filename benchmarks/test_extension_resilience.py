@@ -1,0 +1,77 @@
+"""Extension E10 — request-level resilience: storms, breakers, failover.
+
+Two halves, both on the calibrated DNN-inference workload:
+
+(a) Retry storms.  A client that retries on timeout *without cancelling*
+    the expired attempt multiplies offered load exactly where queues are
+    already slow.  The k small per-site edge queues tip into a
+    metastable zombie-retry regime the pooled cloud queue shrugs off, so
+    the edge/cloud inversion crossover moves to lower utilization than
+    the naive-client crossover of Figures 3-5.
+
+(b) Outage recovery.  At an edge-friendly utilization with injected
+    site outages (stochastic + one correlated two-site window + one
+    link black-hole), the full resilience stack — deadlines, retries,
+    per-site circuit breakers, edge->cloud failover — restores the
+    no-failure edge tail and SLO goodput that a naive or retry-only
+    client loses.
+"""
+
+from repro.experiments.report import render_outage_recovery, render_retry_storm
+from repro.experiments.resilience import outage_recovery, retry_storm
+
+
+def test_resilience_retry_storm(cfg, run_once):
+    result = run_once(retry_storm, cfg)
+    print("\n" + render_retry_storm(result))
+
+    # The naive client sees the paper's inversion: edge wins at low
+    # rates, loses somewhere inside the swept range.
+    assert result.points[0].naive_edge < result.points[0].naive_cloud
+    assert result.naive_crossover is not None
+    # Retries move the crossover to lower utilization...
+    assert result.retry_crossover is not None
+    assert result.retry_crossover < result.naive_crossover
+    # ...while the retrying client still preserves the edge advantage
+    # in the low-utilization regime (the crossover moved, not vanished).
+    assert result.points[0].retry_edge < result.points[0].retry_cloud
+    storm = result.points[-1]
+    # At the top of the sweep the edge is in a full retry storm: heavy
+    # amplification and mass operation failure...
+    assert storm.edge_amplification > 1.5
+    assert storm.edge_failure_rate > 0.3
+    assert storm.retry_edge > 3 * storm.naive_edge
+    # ...while the pooled cloud barely retries at all under the same
+    # client and the same offered load.
+    assert storm.cloud_amplification < 1.05
+    assert storm.retry_edge > 3 * storm.retry_cloud
+
+
+def test_resilience_outage_recovery(cfg, run_once):
+    result = run_once(outage_recovery, cfg)
+    print("\n" + render_outage_recovery(result))
+
+    rows = {r.label: r for r in result.rows}
+    healthy = rows["edge healthy, naive"]
+    broken = rows["edge outages, naive"]
+    retries = rows["edge outages, retries"]
+    resilient = rows["edge outages, breaker+failover"]
+
+    # Outages devastate the naive edge tail (stranded queues)...
+    assert broken.p95 > 5 * healthy.p95
+    # ...retry-only bounds latency but burns goodput on dead sites...
+    assert retries.p95 < 2 * healthy.p95
+    assert retries.summary.slo_attainment < 0.95
+    # ...and the full stack recovers the no-failure edge p95 and SLO.
+    assert resilient.p95 <= healthy.p95 * 1.05
+    assert result.recovery_fraction > 0.95
+    assert resilient.summary.slo_attainment > 0.99
+    assert resilient.summary.goodput > 0.98 * healthy.summary.goodput
+    assert resilient.summary.slo_attainment > retries.summary.slo_attainment
+    # The stack actually worked for its living: failovers carried load
+    # around dead sites, and the breaker tripped on the link black-hole
+    # (where the station looks healthy and only timeouts see the loss).
+    assert resilient.summary.failovers > 0
+    assert resilient.summary.breaker_opens > 0
+    # Resilience is cheap at this utilization: almost no extra attempts.
+    assert resilient.summary.retry_amplification < 1.1

@@ -31,6 +31,14 @@ def _run_validation(cfg: ExperimentConfig) -> str:
     return out + f"\npaper formula unit consistency: {consistency}"
 
 
+def _run_resilience(cfg: ExperimentConfig) -> str:
+    from repro.experiments.resilience import outage_recovery, retry_storm
+
+    storm = R.render_retry_storm(retry_storm(cfg))
+    recovery = R.render_outage_recovery(outage_recovery(cfg))
+    return storm + "\n\n" + recovery
+
+
 # name -> (runner(cfg) -> str, description)
 EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
     "fig2": (
@@ -70,6 +78,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
         "per-site latency box plot (Azure-like trace)",
     ),
     "validation": (_run_validation, "the §4.2 analytic-vs-measured table"),
+    "resilience": (
+        lambda cfg: _run_resilience(cfg),
+        "retry storms and breaker+failover recovery under edge outages",
+    ),
 }
 
 

@@ -20,6 +20,7 @@ from repro.experiments.figures import (
     Fig10Result,
     SweepFigure,
 )
+from repro.experiments.resilience import RecoveryResult, StormResult
 from repro.experiments.validation import ValidationRow
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "render_fig9",
     "render_fig10",
     "render_validation",
+    "render_retry_storm",
+    "render_outage_recovery",
 ]
 
 
@@ -157,6 +160,46 @@ def render_fig10(result: Fig10Result) -> str:
         f"{'cloud':>6} {'':>7} {'':>5} {m['p25']:>8.1f} {m['p50']:>8.1f} "
         f"{m['p75']:>8.1f} {m['p95']:>8.1f}"
     )
+    return "\n".join(lines)
+
+
+def render_retry_storm(result: StormResult) -> str:
+    """Retry-storm sweep: naive vs retrying effective latency, both tiers."""
+    lines = [
+        "Resilience (a) — retry storms move the inversion crossover",
+        f"(failed operations censored at the {result.slo_deadline:.0f}s SLO deadline)",
+        f"{'req/s/site':>10} {'naiveE(ms)':>10} {'naiveC(ms)':>10} "
+        f"{'retryE(ms)':>10} {'retryC(ms)':>10} {'ampE':>5} {'ampC':>5} {'failE':>6}",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.rate:>10.1f} {p.naive_edge * 1e3:>10.0f} {p.naive_cloud * 1e3:>10.0f} "
+            f"{p.retry_edge * 1e3:>10.0f} {p.retry_cloud * 1e3:>10.0f} "
+            f"{p.edge_amplification:>5.2f} {p.cloud_amplification:>5.2f} "
+            f"{p.edge_failure_rate:>6.1%}"
+        )
+    fmt = lambda x: "none in range" if x is None else f"{x:.0f} req/s/site"  # noqa: E731
+    lines.append(f"naive crossover: {fmt(result.naive_crossover)}")
+    lines.append(f"retry crossover: {fmt(result.retry_crossover)}")
+    return "\n".join(lines)
+
+
+def render_outage_recovery(result: RecoveryResult) -> str:
+    """Outage-recovery comparison: one row per client/failure strategy."""
+    lines = [
+        f"Resilience (b) — breaker + failover under edge outages "
+        f"({result.rate:.0f} req/s/site, SLO {result.slo_deadline:.0f}s)",
+        f"{'strategy':>30} {'p95(ms)':>9} {'SLO':>7} {'goodput':>8} "
+        f"{'amp':>5} {'failover':>8} {'opens':>5} {'fail':>6}",
+    ]
+    for row in result.rows:
+        s = row.summary
+        lines.append(
+            f"{row.label:>30} {row.p95 * 1e3:>9.0f} {s.slo_attainment:>7.1%} "
+            f"{s.goodput:>7.1f}/s {s.retry_amplification:>5.2f} "
+            f"{s.failovers:>8} {s.breaker_opens:>5} {s.failures:>6}"
+        )
+    lines.append(f"p95 recovery fraction: {result.recovery_fraction:.3f}")
     return "\n".join(lines)
 
 

@@ -36,9 +36,17 @@ from repro.sim.network import (
     ConstantLatency,
     LatencyModel,
     LognormalLatency,
+    LossyLatency,
     NormalJitterLatency,
 )
 from repro.sim.request import Request
+from repro.sim.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    HedgePolicy,
+    ResilientClient,
+    RetryPolicy,
+)
 from repro.sim.runner import run_comparison, run_deployment
 from repro.sim.station import Station
 from repro.sim.topology import CloudDeployment, EdgeDeployment, EdgeSite
@@ -55,6 +63,12 @@ __all__ = [
     "ConstantLatency",
     "NormalJitterLatency",
     "LognormalLatency",
+    "LossyLatency",
+    "ResilientClient",
+    "RetryPolicy",
+    "HedgePolicy",
+    "BreakerConfig",
+    "CircuitBreaker",
     "RoundRobin",
     "RandomDispatch",
     "JoinShortestQueue",

@@ -120,12 +120,18 @@ class ClosedLoopSource:
         self.site = site
         self.stop_time = stop_time
         self.generated = 0
+        self.failed_responses = 0
         self._rng = sim.spawn_rng()
         self._mine: set[int] = set()
         self._prev_hook = target.on_complete
         target.on_complete = self._on_complete
         for _ in range(self.users):
             sim.schedule(float(self.think.sample(self._rng)), self._send)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently awaiting a response (≤ ``users``)."""
+        return len(self._mine)
 
     def _send(self) -> None:
         if self.sim.now >= self.stop_time:
@@ -136,10 +142,16 @@ class ClosedLoopSource:
         self.target.submit(request)
 
     def _on_complete(self, request: Request) -> None:
+        # Failed responses (bounded-queue drops, resilience-layer
+        # deadline misses) flow through here too: the virtual user gets
+        # its error back and thinks again, so the closed-loop population
+        # is conserved even when the target sheds load.
         if self._prev_hook is not None:
             self._prev_hook(request)
         if request.rid in self._mine:
             self._mine.discard(request.rid)
+            if request.outcome not in (None, "ok"):
+                self.failed_responses += 1
             self.sim.schedule(float(self.think.sample(self._rng)), self._send)
 
 
@@ -188,12 +200,29 @@ class TraceSource:
         self.sim = sim
         self.target = target
         self.site = site
-        self.generated = times.size
-        for i, t in enumerate(times):
-            st = float(services[i]) if services is not None else None
-            sim.schedule_at(float(t), self._fire, st)
+        self.generated = 0
+        # Lazy scheduling: only the *next* trace event sits in the
+        # calendar (O(1) per source instead of O(len(trace)) — a
+        # multi-hour Azure trace no longer materializes millions of
+        # heap entries up front).
+        self._times = times
+        self._services = services
+        self._next = 0
+        if times.size:
+            sim.schedule_at(float(times[0]), self._fire)
 
-    def _fire(self, service_time: float | None) -> None:
+    @property
+    def remaining(self) -> int:
+        """Trace entries not yet fired."""
+        return int(self._times.size - self._next)
+
+    def _fire(self) -> None:
+        i = self._next
+        service_time = float(self._services[i]) if self._services is not None else None
+        self._next += 1
+        self.generated += 1
+        if self._next < self._times.size:
+            self.sim.schedule_at(float(self._times[self._next]), self._fire)
         request = Request(
             next(_GLOBAL_RID), site=self.site, created=self.sim.now, service_time=service_time
         )

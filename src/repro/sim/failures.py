@@ -30,9 +30,13 @@ class FailureInjector:
     stations:
         Stations subject to failures.
     mtbf:
-        Mean time between failures (seconds of *up* time).
+        Mean time between failures (seconds of *up* time).  ``None``
+        disables the stochastic process — use
+        :meth:`schedule_outage` to inject deterministic (possibly
+        correlated multi-site) outage windows instead.
     mttr:
-        Mean time to repair (seconds of *down* time).
+        Mean time to repair (seconds of *down* time).  ``None`` only
+        together with ``mtbf=None``.
     stop_time:
         No new transitions are scheduled at or beyond this time; a
         station that is down at ``stop_time`` is repaired then (so runs
@@ -43,30 +47,78 @@ class FailureInjector:
         self,
         sim: Simulation,
         stations: Sequence[Station],
-        mtbf: float,
-        mttr: float,
+        mtbf: float | None,
+        mttr: float | None,
         stop_time: float,
     ):
         if not stations:
             raise ValueError("need at least one station")
-        if mtbf <= 0 or mttr <= 0:
+        if (mtbf is None) != (mttr is None):
+            raise ValueError("mtbf and mttr must both be given or both be None")
+        if mtbf is not None and (mtbf <= 0 or mttr <= 0):
             raise ValueError(f"mtbf and mttr must be > 0, got {mtbf}, {mttr}")
         if stop_time <= 0:
             raise ValueError(f"stop_time must be > 0, got {stop_time}")
         self.sim = sim
         self.stations = list(stations)
-        self.mtbf = float(mtbf)
-        self.mttr = float(mttr)
+        self.mtbf = None if mtbf is None else float(mtbf)
+        self.mttr = None if mttr is None else float(mttr)
         self.stop_time = float(stop_time)
         self.failures = 0
         self._downtime: dict[str, float] = {s.name: 0.0 for s in self.stations}
         self._down_since: dict[str, float] = {}
         self._rng = sim.spawn_rng()
-        for st in self.stations:
-            sim.schedule(float(self._rng.exponential(self.mtbf)), self._fail, st)
+        if self.mtbf is not None:
+            for st in self.stations:
+                sim.schedule(float(self._rng.exponential(self.mtbf)), self._fail, st)
+
+    def schedule_outage(
+        self,
+        start: float,
+        duration: float,
+        stations: Sequence[Station] | None = None,
+    ) -> None:
+        """Inject a deterministic outage window, correlated across sites.
+
+        All named ``stations`` (default: every managed station) fail
+        together at ``start`` and are repaired at ``start + duration``
+        (clamped to ``stop_time``) — the shared-cause regime real edge
+        platforms exhibit (power/backhaul incidents taking out several
+        co-located sites at once), which per-site exponential failures
+        cannot produce.  Stations already down when the window opens
+        keep their earlier repair schedule (windows collapse).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if start < self.sim.now:
+            raise ValueError(f"outage start {start} is in the past (now={self.sim.now})")
+        targets = self.stations if stations is None else list(stations)
+        for st in targets:
+            if st.name not in self._downtime:
+                raise KeyError(f"station {st.name!r} is not managed by this injector")
+        if start >= self.stop_time:
+            return
+        repair_at = min(start + duration, self.stop_time)
+        for st in targets:
+            self.sim.schedule_at(start, self._forced_fail, st, repair_at)
+
+    def _forced_fail(self, station: Station, repair_at: float) -> None:
+        if self.sim.now >= self.stop_time or station.failed:
+            return
+        station.fail()
+        self.failures += 1
+        self._down_since[station.name] = self.sim.now
+        self.sim.schedule_at(repair_at, self._repair, station)
 
     def _fail(self, station: Station) -> None:
-        if self.sim.now >= self.stop_time or station.failed:
+        if self.sim.now >= self.stop_time:
+            return
+        if station.failed:
+            # A forced outage window already has this station down; keep
+            # the stochastic cycle alive by retrying after a fresh TTF.
+            next_fail = self.sim.now + float(self._rng.exponential(self.mtbf))
+            if next_fail < self.stop_time:
+                self.sim.schedule_at(next_fail, self._fail, station)
             return
         station.fail()
         self.failures += 1
@@ -81,6 +133,8 @@ class FailureInjector:
             return
         station.repair()
         self._downtime[station.name] += self.sim.now - self._down_since.pop(station.name)
+        if self.mtbf is None:
+            return
         next_fail = self.sim.now + float(self._rng.exponential(self.mtbf))
         if next_fail < self.stop_time:
             self.sim.schedule_at(next_fail, self._fail, station)

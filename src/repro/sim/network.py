@@ -21,6 +21,7 @@ __all__ = [
     "ConstantLatency",
     "NormalJitterLatency",
     "LognormalLatency",
+    "LossyLatency",
 ]
 
 
@@ -35,6 +36,15 @@ class LatencyModel(ABC):
     @abstractmethod
     def sample_oneway(self, rng: np.random.Generator) -> float:
         """Draw one one-way delay in seconds (non-negative)."""
+
+    def is_lost(self, rng: np.random.Generator, now: float = 0.0) -> bool:
+        """Whether a packet sent at virtual time ``now`` is lost.
+
+        The base models are lossless and draw no randomness here, so
+        wrapping a deployment in a lossy model never perturbs the RNG
+        streams of existing loss-free experiments.
+        """
+        return False
 
     @property
     def mean_rtt_ms(self) -> float:
@@ -147,3 +157,73 @@ class LognormalLatency(LatencyModel):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LognormalLatency(rtt={self._rtt * 1e3:.3f} ms, cv2={self.cv2})"
+
+
+class LossyLatency(LatencyModel):
+    """Wrap any latency model with packet loss and outage windows.
+
+    A request leg is *lost* — it silently never arrives, rather than
+    arriving late — with probability ``loss_prob`` in steady state, and
+    with probability ``outage_loss_prob`` (default 1.0, a black-hole
+    link) while virtual time falls inside any of the configured
+    ``outages`` windows.  Loss is what makes client-side deadlines
+    essential: without a timeout, a lost request hangs forever.
+
+    Parameters
+    ----------
+    inner:
+        Delay model used for the legs that do arrive.
+    loss_prob:
+        Steady-state per-leg loss probability in [0, 1).
+    outages:
+        Iterable of ``(start, end)`` virtual-time windows of elevated
+        loss (e.g. a link flap or an upstream routing incident).
+    outage_loss_prob:
+        Per-leg loss probability inside an outage window.
+    """
+
+    def __init__(
+        self,
+        inner: LatencyModel,
+        loss_prob: float = 0.0,
+        outages: "list[tuple[float, float]] | None" = None,
+        outage_loss_prob: float = 1.0,
+    ):
+        if not 0.0 <= loss_prob < 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1), got {loss_prob}")
+        if not 0.0 <= outage_loss_prob <= 1.0:
+            raise ValueError(f"outage_loss_prob must be in [0, 1], got {outage_loss_prob}")
+        self.inner = inner
+        self.loss_prob = float(loss_prob)
+        self.outage_loss_prob = float(outage_loss_prob)
+        self.outages = [(float(a), float(b)) for a, b in (outages or [])]
+        for a, b in self.outages:
+            if b <= a:
+                raise ValueError(f"outage window ({a}, {b}) is empty")
+        self.lost = 0
+
+    @property
+    def mean_rtt(self) -> float:
+        return self.inner.mean_rtt
+
+    def sample_oneway(self, rng: np.random.Generator) -> float:
+        return self.inner.sample_oneway(rng)
+
+    def in_outage(self, now: float) -> bool:
+        """Whether ``now`` falls inside a configured outage window."""
+        return any(a <= now < b for a, b in self.outages)
+
+    def is_lost(self, rng: np.random.Generator, now: float = 0.0) -> bool:
+        p = self.outage_loss_prob if self.in_outage(now) else self.loss_prob
+        if p <= 0.0:
+            return False
+        lost = bool(rng.random() < p)
+        if lost:
+            self.lost += 1
+        return lost
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LossyLatency({self.inner!r}, loss_prob={self.loss_prob}, "
+            f"outages={len(self.outages)})"
+        )

@@ -34,6 +34,11 @@ class Request:
         "completed",
         "service_time",
         "redirects",
+        "deadline",
+        "attempt",
+        "outcome",
+        "canceled",
+        "op_id",
     )
 
     def __init__(
@@ -42,6 +47,7 @@ class Request:
         site: str | None = None,
         created: float = _UNSET,
         service_time: float | None = None,
+        deadline: float = math.inf,
     ):
         self.rid = rid
         self.site = site
@@ -52,6 +58,20 @@ class Request:
         self.completed = _UNSET
         self.service_time = service_time
         self.redirects = 0
+        # Resilience-layer fields.  ``deadline`` is the absolute virtual
+        # time by which the client needs the response (SLO deadline,
+        # ``inf`` = none).  ``attempt`` counts delivery attempts for the
+        # logical operation this record represents (1 = first try).
+        # ``outcome`` is ``None`` while in flight / on plain success and
+        # a short tag otherwise ("ok", "dropped", "timeout", "deadline",
+        # "exhausted", "superseded").  ``canceled`` marks an attempt the
+        # client abandoned; stations discard canceled arrivals.
+        # ``op_id`` links an attempt back to its logical operation.
+        self.deadline = deadline
+        self.attempt = 1
+        self.outcome: str | None = None
+        self.canceled = False
+        self.op_id: int | None = None
 
     @property
     def wait(self) -> float:

@@ -70,6 +70,7 @@ class Station:
         self.queue_capacity = queue_capacity
         self.on_drop = on_drop
         self.drops = 0
+        self.cancellations = 0
         self._servers = int(servers)
         self._busy = 0
         self._failed = False
@@ -124,6 +125,11 @@ class Station:
     def arrive(self, request: Request) -> None:
         """Accept (or drop) a request at the current virtual time."""
         self._account()
+        if request.canceled:
+            # The client abandoned this attempt while it was on the wire
+            # (timeout / hedge supersession); it never enters the queue.
+            self.cancellations += 1
+            return
         self.arrivals += 1
         request.arrived = self.sim.now
         if not self._failed and self._busy < self._servers:
@@ -134,6 +140,21 @@ class Station:
             self.drops += 1
             if self.on_drop is not None:
                 self.on_drop(request)
+
+    def cancel(self, request: Request) -> bool:
+        """Remove a *waiting* request from the queue (client timeout).
+
+        Returns True if the request was found and removed.  In-service
+        work cannot be reclaimed — the server finishes it and the client
+        ignores the late response (wasted work, as in a real stack where
+        the backend does not observe client disconnects mid-request).
+        """
+        if request not in self._queue:
+            return False
+        self._account()
+        self._queue.remove(request)
+        self.cancellations += 1
+        return True
 
     def set_servers(self, servers: int) -> None:
         """Change capacity at run time.

@@ -53,11 +53,12 @@ class EdgeSite:
         servers: int,
         latency: LatencyModel,
         service_dist: Distribution | None = None,
+        queue_capacity: int | None = None,
     ):
         self.sim = sim
         self.name = name
         self.latency = latency
-        self.station = Station(sim, servers, service_dist, name=name)
+        self.station = Station(sim, servers, service_dist, name=name, queue_capacity=queue_capacity)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EdgeSite(name={self.name!r}, servers={self.station.servers})"
@@ -93,9 +94,12 @@ class EdgeDeployment:
         self.router = router
         self.log = RequestLog()
         self.on_complete = None  # optional hook: called with each finished request
+        self.dropped = 0
+        self.lost = 0
         self._rng = sim.spawn_rng()
         for site in self.sites:
             site.station.on_departure = self._on_departure
+            site.station.on_drop = self._on_drop
             # Map station back to its site for the return wire leg.
             site.station.site_ref = site  # type: ignore[attr-defined]
 
@@ -111,13 +115,42 @@ class EdgeDeployment:
             if site is not home:
                 request.redirects += 1
                 request.site = site.name
+        if site.latency.is_lost(self._rng, self.sim.now):
+            self.lost += 1
+            request.outcome = "lost"
+            return  # silently never arrives; only a client deadline recovers it
         delay = site.latency.sample_oneway(self._rng) + extra
         self.sim.schedule(delay, site.station.arrive, request)
 
+    def cancel(self, request: Request) -> bool:
+        """Best-effort cancellation of a queued request (client timeout)."""
+        site = self.by_name.get(request.site)
+        return site is not None and site.station.cancel(request)
+
     def _on_departure(self, request: Request) -> None:
         site = self.by_name[request.site]
+        if site.latency.is_lost(self._rng, self.sim.now):
+            self.lost += 1
+            request.outcome = "lost"
+            return  # response lost on the return leg: served but never seen
         delay = site.latency.sample_oneway(self._rng)
         self.sim.schedule(delay, self._complete, request)
+
+    def _on_drop(self, request: Request) -> None:
+        # Bounded-queue rejection: the refusal still crosses the return
+        # wire leg, then surfaces through ``on_complete`` with a failed
+        # outcome so closed-loop users and resilient clients observe it
+        # (conserving the closed-loop population).
+        site = self.by_name[request.site]
+        delay = site.latency.sample_oneway(self._rng)
+        self.sim.schedule(delay, self._complete_failed, request, "dropped")
+
+    def _complete_failed(self, request: Request, outcome: str) -> None:
+        request.completed = self.sim.now
+        request.outcome = outcome
+        self.dropped += 1
+        if self.on_complete is not None:
+            self.on_complete(request)
 
     def _complete(self, request: Request) -> None:
         request.completed = self.sim.now
@@ -155,6 +188,9 @@ class CloudDeployment:
         Extra one-way delay (seconds) of the load-balancer hop the
         cloud path crosses and the edge path does not (HAProxy in the
         paper's setup); applied on the inbound leg.
+    queue_capacity:
+        Per-station bound on *waiting* requests (``None`` = unbounded).
+        Rejections route through the drop path like edge drops.
     """
 
     def __init__(
@@ -166,6 +202,7 @@ class CloudDeployment:
         policy: DispatchPolicy | None = None,
         backends: int | None = None,
         lb_overhead: float = 0.0,
+        queue_capacity: int | None = None,
     ):
         if lb_overhead < 0:
             raise ValueError(f"lb_overhead must be >= 0, got {lb_overhead}")
@@ -175,10 +212,16 @@ class CloudDeployment:
         self.lb_overhead = float(lb_overhead)
         self.log = RequestLog()
         self.on_complete = None  # optional hook: called with each finished request
+        self.dropped = 0
+        self.lost = 0
         self._rng = sim.spawn_rng()
         if policy is None:
             self.stations = [
-                Station(sim, servers, service_dist, name="cloud", on_departure=self._on_departure)
+                Station(
+                    sim, servers, service_dist, name="cloud",
+                    on_departure=self._on_departure, queue_capacity=queue_capacity,
+                    on_drop=self._on_drop,
+                )
             ]
         else:
             if backends is None:
@@ -188,17 +231,29 @@ class CloudDeployment:
             per = servers // backends
             self.stations = [
                 Station(
-                    sim, per, service_dist, name=f"cloud-{i}", on_departure=self._on_departure
+                    sim, per, service_dist, name=f"cloud-{i}",
+                    on_departure=self._on_departure, queue_capacity=queue_capacity,
+                    on_drop=self._on_drop,
                 )
                 for i in range(backends)
             ]
 
     def submit(self, request: Request) -> None:
         """Send a request from its client toward the cloud."""
+        if self.latency.is_lost(self._rng, self.sim.now):
+            self.lost += 1
+            request.outcome = "lost"
+            return
         delay = self.latency.sample_oneway(self._rng) + self.lb_overhead
         self.sim.schedule(delay, self._dispatch, request)
 
+    def cancel(self, request: Request) -> bool:
+        """Best-effort cancellation of a queued request (client timeout)."""
+        return any(st.cancel(request) for st in self.stations)
+
     def _dispatch(self, request: Request) -> None:
+        if request.canceled:
+            return  # abandoned while crossing the wire; never reaches a queue
         if self.policy is None:
             station = self.stations[0]
         else:
@@ -206,8 +261,23 @@ class CloudDeployment:
         station.arrive(request)
 
     def _on_departure(self, request: Request) -> None:
+        if self.latency.is_lost(self._rng, self.sim.now):
+            self.lost += 1
+            request.outcome = "lost"
+            return
         delay = self.latency.sample_oneway(self._rng)
         self.sim.schedule(delay, self._complete, request)
+
+    def _on_drop(self, request: Request) -> None:
+        delay = self.latency.sample_oneway(self._rng)
+        self.sim.schedule(delay, self._complete_failed, request, "dropped")
+
+    def _complete_failed(self, request: Request, outcome: str) -> None:
+        request.completed = self.sim.now
+        request.outcome = outcome
+        self.dropped += 1
+        if self.on_complete is not None:
+            self.on_complete(request)
 
     def _complete(self, request: Request) -> None:
         request.completed = self.sim.now

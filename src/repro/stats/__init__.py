@@ -6,6 +6,7 @@ from repro.stats.replications import (
     replicate,
     replications_for_precision,
 )
+from repro.stats.resilience import ResilienceSummary, summarize_resilience
 from repro.stats.summary import LatencySummary, summarize
 from repro.stats.timeseries import windowed_mean, windowed_percentile
 from repro.stats.warmup import mser_cutoff, trim_warmup
@@ -13,6 +14,8 @@ from repro.stats.warmup import mser_cutoff, trim_warmup
 __all__ = [
     "LatencySummary",
     "summarize",
+    "ResilienceSummary",
+    "summarize_resilience",
     "windowed_mean",
     "windowed_percentile",
     "batch_means_ci",

@@ -1,0 +1,140 @@
+"""Resilience metrics: goodput, SLO attainment, retry amplification.
+
+Latency summaries (:mod:`repro.stats.summary`) describe the requests
+that *succeeded*; under failures and retries that is only half the
+story.  :class:`ResilienceSummary` adds the operation-level view a
+production SRE dashboard would show: how many logical operations
+resolved inside their SLO deadline per second (goodput), what fraction
+met the deadline (SLO attainment), and how many delivery attempts each
+operation cost (retry amplification — the load multiplier a retry storm
+imposes on the very queues the paper's inversion analysis studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.summary import LatencySummary, summarize
+
+__all__ = ["ResilienceSummary", "summarize_resilience"]
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Operation-level outcome metrics for one resilient-client run.
+
+    Attributes
+    ----------
+    duration:
+        Observation window in virtual seconds.
+    operations:
+        Logical operations resolved (successes + failures).
+    successes / failures:
+        Operations that returned a response / gave up (deadline
+        exceeded or attempts exhausted).
+    slo_hits:
+        Successes that completed at or before their SLO deadline.
+    attempts:
+        Delivery attempts issued (first tries + retries + hedges).
+    retries / hedges / failovers:
+        Re-issued attempts, speculative duplicates, and attempts routed
+        to the fallback deployment.
+    timeouts / drops:
+        Attempt-level failures by cause (deadline-clamped timer fired;
+        bounded queue rejected).
+    breaker_opens:
+        Circuit-breaker open transitions across all sites.
+    goodput:
+        SLO-meeting completions per virtual second.
+    slo_attainment:
+        ``slo_hits / operations`` (0 when no operations resolved).
+    retry_amplification:
+        ``attempts / operations`` — 1.0 means no extra load; a retry
+        storm pushes this toward the retry cap.
+    latency:
+        Distribution of successful operations' end-to-end latency, or
+        ``None`` when nothing succeeded.
+    """
+
+    duration: float
+    operations: int
+    successes: int
+    failures: int
+    slo_hits: int
+    attempts: int
+    retries: int
+    hedges: int
+    failovers: int
+    timeouts: int
+    drops: int
+    breaker_opens: int
+    goodput: float
+    slo_attainment: float
+    retry_amplification: float
+    latency: LatencySummary | None
+
+    def __str__(self) -> str:
+        lat = f" p95={self.latency.p95 * 1e3:.1f}ms" if self.latency is not None else ""
+        return (
+            f"ops={self.operations} ok={self.successes} fail={self.failures} "
+            f"slo={self.slo_attainment:.1%} goodput={self.goodput:.2f}/s "
+            f"amp={self.retry_amplification:.2f}x{lat}"
+        )
+
+
+def summarize_resilience(
+    *,
+    duration: float,
+    successes: int,
+    failures: int,
+    slo_hits: int,
+    attempts: int,
+    retries: int = 0,
+    hedges: int = 0,
+    failovers: int = 0,
+    timeouts: int = 0,
+    drops: int = 0,
+    breaker_opens: int = 0,
+    latencies: np.ndarray | None = None,
+) -> ResilienceSummary:
+    """Build a :class:`ResilienceSummary` from raw counters.
+
+    Raises
+    ------
+    ValueError
+        If ``duration`` is not positive or any counter is negative.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    counts = dict(
+        successes=successes, failures=failures, slo_hits=slo_hits, attempts=attempts,
+        retries=retries, hedges=hedges, failovers=failovers, timeouts=timeouts,
+        drops=drops, breaker_opens=breaker_opens,
+    )
+    for key, value in counts.items():
+        if value < 0:
+            raise ValueError(f"{key} must be >= 0, got {value}")
+    operations = successes + failures
+    latency = None
+    if latencies is not None and np.asarray(latencies).size:
+        latency = summarize(latencies)
+    return ResilienceSummary(
+        duration=float(duration),
+        operations=operations,
+        successes=successes,
+        failures=failures,
+        slo_hits=slo_hits,
+        attempts=attempts,
+        retries=retries,
+        hedges=hedges,
+        failovers=failovers,
+        timeouts=timeouts,
+        drops=drops,
+        breaker_opens=breaker_opens,
+        goodput=slo_hits / duration,
+        slo_attainment=(slo_hits / operations) if operations else 0.0,
+        retry_amplification=(attempts / operations) if operations else 0.0,
+        latency=latency,
+    )

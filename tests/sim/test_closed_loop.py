@@ -112,3 +112,50 @@ class TestLbOverhead:
             CloudDeployment(
                 sim, servers=1, latency=ConstantLatency(0.0), lb_overhead=-0.001
             )
+
+
+class TestClosedLoopDropConservation:
+    """Regression: bounded-queue drops must not leak virtual users.
+
+    Before drops were routed through ``on_complete``, a dropped request
+    silently removed its virtual user from the population — a long run
+    against a small queue would bleed the closed loop down to zero
+    concurrency.
+    """
+
+    def _run(self, queue_capacity, duration=300.0):
+        sim = Simulation(5)
+        site = EdgeSite(
+            sim, "s0", 1, ConstantLatency(0.001), Deterministic(0.5),
+            queue_capacity=queue_capacity,
+        )
+        edge = EdgeDeployment(sim, [site])
+        src = ClosedLoopSource(
+            sim, edge, users=8, think=Exponential(0.1), site="s0",
+            stop_time=duration,
+        )
+        sim.run()
+        return edge, src
+
+    def test_population_survives_drops(self):
+        edge, src = self._run(queue_capacity=2)
+        assert edge.dropped > 0  # the bounded queue actually shed load
+        # Every user got a response (served or dropped) for every
+        # request it issued: nobody is stuck waiting.
+        assert src.outstanding == 0
+        assert src.failed_responses == edge.dropped
+        assert src.generated == len(edge.log) + edge.dropped
+
+    def test_dropped_requests_marked_and_kept_out_of_latency_log(self):
+        edge, src = self._run(queue_capacity=1)
+        assert edge.dropped > 0
+        # The latency log only holds served requests (no NaN rows).
+        bd = edge.log.breakdown()
+        assert len(bd) == src.generated - edge.dropped
+        assert np.isfinite(bd.end_to_end).all()
+
+    def test_unbounded_queue_unchanged(self):
+        edge, src = self._run(queue_capacity=None)
+        assert edge.dropped == 0
+        assert src.failed_responses == 0
+        assert src.outstanding == 0

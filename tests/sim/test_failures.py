@@ -114,3 +114,115 @@ class TestFailureInjector:
         inj = FailureInjector(sim, [st], 10.0, 1.0, 100.0)
         with pytest.raises(KeyError):
             inj.availability("nope")
+
+
+class TestForcedOutages:
+    """Deterministic (possibly correlated, multi-site) outage windows."""
+
+    def _sim_with_sites(self, n=2, seed=0):
+        sim = Simulation(seed)
+        sites = [
+            EdgeSite(sim, f"s{i}", 1, ConstantLatency(0.001), SERVICE)
+            for i in range(n)
+        ]
+        edge = EdgeDeployment(sim, sites)
+        return sim, sites, edge
+
+    def test_window_only_injector_needs_no_rates(self):
+        sim, sites, _ = self._sim_with_sites()
+        inj = FailureInjector(sim, [s.station for s in sites], None, None, 200.0)
+        inj.schedule_outage(50.0, 25.0)
+        sim.run()
+        assert inj.failures == 2  # both stations, once each
+        for s in sites:
+            assert inj.availability(s.name, horizon=200.0) == pytest.approx(0.875)
+
+    def test_correlated_window_takes_both_sites_down_together(self):
+        sim, sites, _ = self._sim_with_sites()
+        inj = FailureInjector(sim, [s.station for s in sites], None, None, 200.0)
+        inj.schedule_outage(50.0, 25.0, [sites[0].station, sites[1].station])
+        both_down = []
+        sim.schedule_at(60.0, lambda: both_down.append(
+            sites[0].station.failed and sites[1].station.failed))
+        sim.run()
+        assert both_down == [True]
+        assert not sites[0].station.failed and not sites[1].station.failed
+
+    def test_availability_with_station_down_at_horizon(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        inj = FailureInjector(sim, [sites[0].station], None, None, 1000.0)
+        inj.schedule_outage(50.0, 500.0)
+        sim.run(until=75.0)  # mid-outage: repair not yet applied
+        assert sites[0].station.failed
+        # The open downtime interval counts up to the horizon.
+        assert inj.availability("s0", horizon=75.0) == pytest.approx(1 - 25.0 / 75.0)
+
+    def test_repair_forced_at_stop_time(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        inj = FailureInjector(sim, [sites[0].station], None, None, 100.0)
+        inj.schedule_outage(90.0, 1e9)  # would repair long after the run
+        sim.run()
+        assert not sites[0].station.failed  # clamped to stop_time
+        assert inj.availability("s0", horizon=100.0) == pytest.approx(0.9)
+
+    def test_overlapping_windows_collapse(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        inj = FailureInjector(sim, [sites[0].station], None, None, 200.0)
+        inj.schedule_outage(50.0, 20.0)
+        inj.schedule_outage(60.0, 5.0)  # already down: no second cycle
+        sim.run()
+        assert inj.failures == 1
+        assert inj.availability("s0", horizon=200.0) == pytest.approx(0.9)
+
+    def test_window_past_stop_time_is_ignored(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        inj = FailureInjector(sim, [sites[0].station], None, None, 100.0)
+        inj.schedule_outage(150.0, 10.0)
+        sim.run()
+        assert inj.failures == 0
+
+    def test_validation(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        other_sim = Simulation(1)
+        foreign = Station(other_sim, 1, SERVICE)
+        foreign.name = "foreign"
+        inj = FailureInjector(sim, [sites[0].station], None, None, 100.0)
+        with pytest.raises(ValueError):
+            inj.schedule_outage(10.0, 0.0)
+        with pytest.raises(KeyError):
+            inj.schedule_outage(10.0, 5.0, [foreign])
+        with pytest.raises(ValueError):
+            FailureInjector(sim, [sites[0].station], 10.0, None, 100.0)
+
+    def test_windows_compose_with_stochastic_process(self):
+        # A forced window while the stochastic fail/repair cycle runs:
+        # the cycle must survive (stations keep failing afterwards).
+        sim, sites, edge = self._sim_with_sites(n=2, seed=7)
+        OpenLoopSource(sim, edge, Exponential(1.0 / 5.0), site="s0", stop_time=3000.0)
+        inj = FailureInjector(
+            sim, [s.station for s in sites], mtbf=200.0, mttr=20.0, stop_time=3000.0
+        )
+        inj.schedule_outage(100.0, 50.0)
+        sim.run()
+        assert inj.failures > 4  # stochastic failures continued post-window
+        assert all(not s.station.failed for s in sites)
+
+    def test_fail_repair_sequence_deterministic_under_seed(self):
+        def run():
+            sim, sites, edge = self._sim_with_sites(n=2, seed=11)
+            OpenLoopSource(sim, edge, Exponential(1.0 / 5.0), site="s0",
+                           stop_time=2000.0)
+            inj = FailureInjector(
+                sim, [s.station for s in sites], mtbf=150.0, mttr=30.0,
+                stop_time=2000.0,
+            )
+            inj.schedule_outage(500.0, 60.0)
+            sim.run()
+            return (
+                inj.failures,
+                inj.mean_availability(2000.0),
+                len(edge.log),
+                float(edge.log.breakdown().end_to_end.sum()),
+            )
+
+        assert run() == run()

@@ -191,6 +191,34 @@ class TestTraceSource:
         with pytest.raises(ValueError):
             TraceSource(sim, cloud, [1.0], [-0.1])
 
+    def test_lazy_scheduling_keeps_calendar_small(self):
+        # Regression: the source used to push the whole trace into the
+        # event calendar up front (O(n) heap entries); now only the next
+        # trace event is ever pending.
+        sim = Simulation(0)
+        cloud = CloudDeployment(
+            sim, servers=4, latency=ConstantLatency(0.0),
+            service_dist=Deterministic(0.001),
+        )
+        n = 50_000
+        src = TraceSource(sim, cloud, np.linspace(1.0, 100.0, n))
+        assert sim.pending_events == 1  # just the first trace event
+        assert src.remaining == n
+        sim.run(until=50.0)
+        assert sim.pending_events < 20  # next event + in-flight work only
+        assert 0 < src.remaining < n
+        assert src.generated == n - src.remaining
+        sim.run()
+        assert src.remaining == 0 and src.generated == n
+        assert len(cloud.log) == n
+
+    def test_generated_counts_fired_events_only(self):
+        sim = Simulation(0)
+        cloud = CloudDeployment(sim, servers=1, latency=ConstantLatency(0.0))
+        src = TraceSource(sim, cloud, [0.5, 1.5, 2.5], [0.1, 0.1, 0.1])
+        sim.run(until=1.0)
+        assert src.generated == 1 and src.remaining == 2
+
 
 class TestBreakdown:
     def test_after_filters_by_creation_time(self):

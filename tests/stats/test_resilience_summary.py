@@ -1,0 +1,51 @@
+"""Tests for the operation-level resilience metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.resilience import summarize_resilience
+
+
+class TestSummarizeResilience:
+    def test_derived_metrics(self):
+        s = summarize_resilience(
+            duration=100.0, successes=90, failures=10, slo_hits=80,
+            attempts=120, retries=20, hedges=10, failovers=5,
+            latencies=np.full(90, 0.25),
+        )
+        assert s.operations == 100
+        assert s.goodput == pytest.approx(0.8)
+        assert s.slo_attainment == pytest.approx(0.8)
+        assert s.retry_amplification == pytest.approx(1.2)
+        assert s.latency is not None
+        assert s.latency.mean == pytest.approx(0.25)
+
+    def test_zero_operations(self):
+        s = summarize_resilience(
+            duration=10.0, successes=0, failures=0, slo_hits=0, attempts=0
+        )
+        assert s.operations == 0
+        assert s.goodput == 0.0
+        assert s.slo_attainment == 0.0
+        assert s.retry_amplification == 0.0
+        assert s.latency is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_resilience(
+                duration=0.0, successes=1, failures=0, slo_hits=1, attempts=1
+            )
+        with pytest.raises(ValueError):
+            summarize_resilience(
+                duration=10.0, successes=-1, failures=0, slo_hits=0, attempts=0
+            )
+
+    def test_str_mentions_headline_numbers(self):
+        s = summarize_resilience(
+            duration=50.0, successes=40, failures=10, slo_hits=40, attempts=60,
+            latencies=np.linspace(0.1, 0.5, 40),
+        )
+        text = str(s)
+        assert "slo=80.0%" in text
+        assert "amp=1.20x" in text
+        assert "goodput=0.80/s" in text

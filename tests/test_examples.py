@@ -64,3 +64,8 @@ class TestSlowExamples:
     def test_production_serving(self):
         out = run_example("production_serving.py", timeout=600)
         assert "fleet availability" in out
+
+    def test_resilient_serving(self):
+        out = run_example("resilient_serving.py", timeout=600)
+        assert "breaker + failover" in out
+        assert "hedging cuts p99" in out
