@@ -1,9 +1,17 @@
-"""Extension E3 — overload behavior with bounded queues (§4.2's drops).
+"""Extensions E3 + E11 — overload behavior and server-side control.
 
-The paper notes the real stack "starts dropping requests or thrashing"
-at 100% utilization.  With bounded per-site queues the edge sheds load
-under a flash crowd: latency stays bounded but goodput falls, while the
-pooled cloud absorbs the same burst with far fewer drops.
+E3: the paper notes the real stack "starts dropping requests or
+thrashing" at 100% utilization.  With bounded per-site queues the edge
+sheds load under a flash crowd: latency stays bounded but goodput
+falls, while the pooled cloud absorbs the same burst with far fewer
+drops.
+
+E11: what a *defended* server buys.  Queue disciplines (adaptive LIFO,
+CoDel) keep the served p95 bounded where FIFO diverges; adaptive
+concurrency limits recover goodput immediately after an overload pulse;
+priority shares preserve the important class; brownout serving beats
+pure dropping at equal offered load; and the E10 metastable retry storm
+does not ignite against protected stations.
 """
 
 import numpy as np
@@ -77,3 +85,110 @@ def test_extension_overload(run_once):
     # …but the pooled cloud keeps conditional latency lower: the
     # bank-teller effect persists even in the loss regime.
     assert cloud_mean < edge_mean
+
+
+# -- E11: server-side overload control -------------------------------------
+
+
+def test_overload_discipline_sweep(cfg, run_once):
+    from repro.experiments.overload import discipline_sweep
+    from repro.experiments.report import render_discipline_sweep
+
+    result = run_once(discipline_sweep, cfg)
+    print("\n" + render_discipline_sweep(result))
+
+    fifo = result.row("fifo")
+    alifo = result.row("adaptive-lifo")
+    codel = result.row("codel")
+    # Unbounded FIFO refuses nothing and serves everything stale: the
+    # admitted p95 diverges with the backlog and SLO goodput collapses.
+    assert fifo.summary.refused == 0
+    assert fifo.p95 > 20.0
+    assert fifo.slo_goodput < 1.0
+    # The overload-aware disciplines shed stale work instead: served
+    # p95 stays within a few service times and most admitted requests
+    # meet the 2 s SLO despite 1.23x offered overload.
+    for row in (alifo, codel):
+        assert row.p95 < 5.0
+        assert row.slo_goodput > 8.0
+    assert codel.summary.shed > 0  # CoDel's bound comes from shedding
+
+
+def test_overload_admission_pulse(cfg, run_once):
+    from repro.experiments.overload import admission_pulse
+    from repro.experiments.report import render_admission_pulse
+
+    result = run_once(admission_pulse, cfg)
+    print("\n" + render_admission_pulse(result))
+
+    # Without admission, the backlog built during the pulse poisons the
+    # recovery window: post-pulse goodput is a small fraction of base.
+    assert result.recovered("none") < 0.5
+    # Both adaptive limits serve (nearly) the full base load within SLO
+    # as soon as the pulse ends, at a p95 far below the undefended one.
+    none_p95 = result.row("none").post_p95
+    for label in ("aimd", "gradient"):
+        assert result.recovered(label) > 0.8
+        assert result.row(label).post_p95 < none_p95 / 10
+        # The limit reopened after the pulse instead of staying clamped.
+        assert result.row(label).final_limit > 4.0
+
+
+def test_overload_priority_shedding(cfg, run_once):
+    from repro.experiments.overload import priority_shedding
+    from repro.experiments.report import render_priority_shedding
+
+    result = run_once(priority_shedding, cfg)
+    print("\n" + render_priority_shedding(result))
+
+    # Uniform admission spreads refusals across classes: the important
+    # class loses a large share of its traffic.
+    assert result.served_fraction("uniform", 0) < 0.8
+    # Priority shares protect it almost perfectly (>= 99% served) by
+    # pushing the refusals onto the sheddable classes.
+    assert result.served_fraction("priority", 0) >= 0.99
+    assert result.served_fraction("priority", 2) < result.served_fraction("priority", 1)
+    assert result.served_fraction("priority", 2) < 0.3
+
+
+def test_overload_brownout_tradeoff(cfg, run_once):
+    from repro.experiments.overload import brownout_tradeoff
+    from repro.experiments.report import render_brownout_tradeoff
+
+    result = run_once(brownout_tradeoff, cfg)
+    print("\n" + render_brownout_tradeoff(result))
+
+    drop = result.row("drop-tail").summary
+    brown = result.row("brownout").summary
+    # Same offered load: brownout strictly beats pure dropping on
+    # goodput and refusals, and reports the price as degraded fraction.
+    assert result.goodput_gain > 1.1
+    assert brown.refusal_rate < drop.refusal_rate / 2
+    assert 0.1 < brown.degraded_fraction < 0.9
+    assert drop.degraded_fraction == 0.0
+
+
+def test_overload_storm_defense(cfg, run_once):
+    from repro.experiments.overload import storm_defense
+    from repro.experiments.report import render_storm_defense
+
+    result = run_once(storm_defense, cfg)
+    print("\n" + render_storm_defense(result))
+
+    # At the E10 metastable rate the naive edge is in a full storm:
+    # mass failure and heavy retry amplification.
+    naive = result.row(10.0, False)
+    assert naive.failure_rate > 0.5
+    assert naive.amplification > 2.0
+    # Server-side control (CoDel + AIMD admission) prevents ignition:
+    # failures and amplification collapse, effective latency is a
+    # fraction of the undefended one, and the defense actually engaged.
+    protected = result.row(10.0, True)
+    assert protected.failure_rate < 0.2
+    assert protected.amplification < 1.6
+    assert protected.effective_latency < naive.effective_latency / 2
+    assert protected.sheds + protected.rejects > 0
+    # At the benign rate the defenses stay out of the way: both cells
+    # succeed for essentially all operations.
+    assert result.row(8.0, True).failure_rate < 0.1
+    assert result.row(8.0, False).failure_rate < 0.1

@@ -39,6 +39,19 @@ def _run_resilience(cfg: ExperimentConfig) -> str:
     return storm + "\n\n" + recovery
 
 
+def _run_overload(cfg: ExperimentConfig) -> str:
+    from repro.experiments import overload as O
+
+    sections = [
+        R.render_discipline_sweep(O.discipline_sweep(cfg)),
+        R.render_admission_pulse(O.admission_pulse(cfg)),
+        R.render_priority_shedding(O.priority_shedding(cfg)),
+        R.render_brownout_tradeoff(O.brownout_tradeoff(cfg)),
+        R.render_storm_defense(O.storm_defense(cfg)),
+    ]
+    return "\n\n".join(sections)
+
+
 # name -> (runner(cfg) -> str, description)
 EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
     "fig2": (
@@ -81,6 +94,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
     "resilience": (
         lambda cfg: _run_resilience(cfg),
         "retry storms and breaker+failover recovery under edge outages",
+    ),
+    "overload": (
+        lambda cfg: _run_overload(cfg),
+        "server-side overload control: disciplines, admission, brownout",
     ),
 }
 

@@ -20,6 +20,13 @@ from repro.experiments.figures import (
     Fig10Result,
     SweepFigure,
 )
+from repro.experiments.overload import (
+    BrownoutResult,
+    DefenseResult,
+    DisciplineResult,
+    PriorityResult,
+    PulseResult,
+)
 from repro.experiments.resilience import RecoveryResult, StormResult
 from repro.experiments.validation import ValidationRow
 
@@ -35,6 +42,11 @@ __all__ = [
     "render_validation",
     "render_retry_storm",
     "render_outage_recovery",
+    "render_discipline_sweep",
+    "render_admission_pulse",
+    "render_priority_shedding",
+    "render_brownout_tradeoff",
+    "render_storm_defense",
 ]
 
 
@@ -213,5 +225,94 @@ def render_validation(rows: list[ValidationRow]) -> str:
         lines.append(
             f"{r.k_machines:>4} {r.paper_predicted:>10.2f} {r.paper_measured:>10.2f} "
             f"{r.our_predicted:>9.2f} {_fmt_rho(r.our_measured):>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_discipline_sweep(result: DisciplineResult) -> str:
+    """Queue-discipline comparison under sustained overload."""
+    lines = [
+        f"Overload (a) — queue disciplines at {result.rate:.0f} req/s "
+        f"(capacity 13, SLO {result.slo:.0f}s)",
+        f"{'discipline':>14} {'p95(ms)':>9} {'goodput':>8} {'sloGP':>7} "
+        f"{'refused':>8} {'drop':>6} {'shed':>6}",
+    ]
+    for row in result.rows:
+        s = row.summary
+        lines.append(
+            f"{row.label:>14} {row.p95 * 1e3:>9.0f} {s.goodput:>7.1f}/s "
+            f"{row.slo_goodput:>6.1f}/s {s.refusal_rate:>8.1%} "
+            f"{s.dropped:>6} {s.shed:>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_admission_pulse(result: PulseResult) -> str:
+    """Adaptive-admission recovery after an overload pulse."""
+    t0, t1 = result.pulse_window
+    lines = [
+        f"Overload (b) — admission control through a {result.pulse_rate:.0f} req/s "
+        f"pulse on {result.base_rate:.0f} req/s base (t={t0:.0f}..{t1:.0f}s)",
+        f"{'admission':>10} {'recovered':>9} {'postP95(ms)':>11} "
+        f"{'rejected':>9} {'limit@end':>9}",
+    ]
+    for row in result.rows:
+        limit = "-" if row.final_limit is None else f"{row.final_limit:.1f}"
+        lines.append(
+            f"{row.label:>10} {result.recovered(row.label):>9.2f} "
+            f"{row.post_p95 * 1e3:>11.0f} {row.summary.rejected:>9} {limit:>9}"
+        )
+    lines.append(
+        "recovered = post-pulse served-within-SLO rate / offered base rate"
+    )
+    return "\n".join(lines)
+
+
+def render_priority_shedding(result: PriorityResult) -> str:
+    """Per-class goodput with uniform vs priority-aware shedding."""
+    lines = [
+        f"Overload (c) — priority shedding at {result.rate:.0f} req/s "
+        f"(capacity 13; shares {result.shares})",
+        f"{'policy':>9} {'class':>5} {'offered':>8} {'served':>7} {'fraction':>9}",
+    ]
+    for label, rows in (("uniform", result.uniform), ("priority", result.priority)):
+        for row in rows:
+            lines.append(
+                f"{label:>9} {row.priority:>5} {row.offered:>8} {row.served:>7} "
+                f"{row.served_fraction:>9.1%}"
+            )
+    return "\n".join(lines)
+
+
+def render_brownout_tradeoff(result: BrownoutResult) -> str:
+    """Brownout vs drop-tail at equal offered load."""
+    lines = [
+        f"Overload (d) — brownout vs drop-tail at {result.rate:.0f} req/s",
+        f"{'strategy':>10} {'p95(ms)':>9} {'goodput':>8} {'refused':>8} {'degraded':>9}",
+    ]
+    for row in result.rows:
+        s = row.summary
+        lines.append(
+            f"{row.label:>10} {row.p95 * 1e3:>9.0f} {s.goodput:>7.1f}/s "
+            f"{s.refusal_rate:>8.1%} {s.degraded_fraction:>9.1%}"
+        )
+    lines.append(f"brownout goodput gain over drop-tail: {result.goodput_gain:.2f}x")
+    return "\n".join(lines)
+
+
+def render_storm_defense(result: DefenseResult) -> str:
+    """E10's retry storm with and without server-side overload control."""
+    lines = [
+        "Overload (e) — the E10 retry storm vs protected stations "
+        f"(failures censored at the {result.slo_deadline:.0f}s SLO)",
+        f"{'req/s/site':>10} {'stations':>10} {'effLat(ms)':>10} {'amp':>5} "
+        f"{'fail':>6} {'sheds':>6} {'rejects':>8}",
+    ]
+    for row in result.rows:
+        tag = "protected" if row.protected else "naive"
+        lines.append(
+            f"{row.rate:>10.1f} {tag:>10} {row.effective_latency * 1e3:>10.0f} "
+            f"{row.amplification:>5.2f} {row.failure_rate:>6.1%} "
+            f"{row.sheds:>6} {row.rejects:>8}"
         )
     return "\n".join(lines)

@@ -12,8 +12,13 @@
 """
 
 from repro.mitigation.admission import (
+    AdaptiveAdmission,
     AdmissionControlledStation,
+    AIMDConcurrencyLimit,
+    ConcurrencyLimit,
+    GradientConcurrencyLimit,
     OccupancyAdmission,
+    StaticConcurrencyLimit,
     TokenBucketAdmission,
 )
 from repro.mitigation.autoscale import ReactiveAutoscaler
@@ -33,4 +38,9 @@ __all__ = [
     "AdmissionControlledStation",
     "OccupancyAdmission",
     "TokenBucketAdmission",
+    "ConcurrencyLimit",
+    "StaticConcurrencyLimit",
+    "AIMDConcurrencyLimit",
+    "GradientConcurrencyLimit",
+    "AdaptiveAdmission",
 ]

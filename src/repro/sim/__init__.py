@@ -27,10 +27,18 @@ from repro.sim.fastsim import (
 )
 from repro.sim.geo import GeoComparison, Region, simulate_geo_comparison
 from repro.sim.loadbalancer import (
+    BackpressureDispatch,
     JoinShortestQueue,
     LeastWorkLeft,
     RandomDispatch,
     RoundRobin,
+)
+from repro.sim.overload import (
+    AdaptiveLIFODiscipline,
+    BrownoutController,
+    CoDelDiscipline,
+    FIFODiscipline,
+    QueueDiscipline,
 )
 from repro.sim.network import (
     ConstantLatency,
@@ -73,6 +81,12 @@ __all__ = [
     "RandomDispatch",
     "JoinShortestQueue",
     "LeastWorkLeft",
+    "BackpressureDispatch",
+    "QueueDiscipline",
+    "FIFODiscipline",
+    "AdaptiveLIFODiscipline",
+    "CoDelDiscipline",
+    "BrownoutController",
     "EdgeSite",
     "EdgeDeployment",
     "CloudDeployment",

@@ -48,6 +48,11 @@ class OpenLoopSource:
         Home-site label stamped on each request (edge routing key).
     stop_time:
         No requests are generated at or after this virtual time.
+    priority:
+        Request class stamped on each request (0 = most important,
+        larger = more sheddable) — either a fixed int or a callable
+        ``rng -> int`` drawing a class per request (a traffic mix for
+        priority-aware load shedding).
     """
 
     def __init__(
@@ -57,12 +62,14 @@ class OpenLoopSource:
         interarrival,
         site: str | None = None,
         stop_time: float = np.inf,
+        priority=0,
     ):
         self.sim = sim
         self.target = target
         self.interarrival = interarrival
         self.site = site
         self.stop_time = stop_time
+        self.priority = priority
         self.generated = 0
         self._rng = sim.spawn_rng()
         sim.schedule(float(self.interarrival.sample(self._rng)), self._fire)
@@ -70,7 +77,10 @@ class OpenLoopSource:
     def _fire(self) -> None:
         if self.sim.now >= self.stop_time:
             return
-        request = Request(next(_GLOBAL_RID), site=self.site, created=self.sim.now)
+        priority = self.priority(self._rng) if callable(self.priority) else self.priority
+        request = Request(
+            next(_GLOBAL_RID), site=self.site, created=self.sim.now, priority=priority
+        )
         self.generated += 1
         self.target.submit(request)
         self.sim.schedule(float(self.interarrival.sample(self._rng)), self._fire)

@@ -11,6 +11,13 @@ policies so the gap is measurable (ablation A1 in DESIGN.md):
 * :class:`JoinShortestQueue` — HAProxy ``leastconn`` (fewest in system).
 * :class:`LeastWorkLeft` — idealized policy using (approximate) backlog
   seconds rather than counts.
+* :class:`BackpressureDispatch` — overload-aware wrapper: reads each
+  station's ``pressure()`` signal and steers around saturated (and
+  failed) backends, the dispatch half of server-side overload control.
+
+State-aware policies (JSQ, least-work, backpressure) never pick a
+``failed()`` station while a healthy one exists — a load balancer sees
+dead backends through health checks.
 
 The central-queue ideal is expressed in the topology layer as a single
 :class:`~repro.sim.station.Station` with ``k`` servers, not a policy.
@@ -25,7 +32,20 @@ import numpy as np
 
 from repro.sim.station import Station
 
-__all__ = ["DispatchPolicy", "RoundRobin", "RandomDispatch", "JoinShortestQueue", "LeastWorkLeft"]
+__all__ = [
+    "DispatchPolicy",
+    "RoundRobin",
+    "RandomDispatch",
+    "JoinShortestQueue",
+    "LeastWorkLeft",
+    "BackpressureDispatch",
+]
+
+
+def _healthy(stations: Sequence[Station]) -> Sequence[Station]:
+    """Stations passing health checks; all of them if every one is down."""
+    alive = [s for s in stations if not s.failed]
+    return alive if alive else stations
 
 
 class DispatchPolicy(ABC):
@@ -69,6 +89,7 @@ class JoinShortestQueue(DispatchPolicy):
     def choose(self, stations: Sequence[Station], rng: np.random.Generator) -> Station:
         if not stations:
             raise ValueError("no backend stations")
+        stations = _healthy(stations)
         occupancy = np.fromiter((s.in_system for s in stations), dtype=np.int64)
         candidates = np.flatnonzero(occupancy == occupancy.min())
         return stations[int(candidates[rng.integers(len(candidates))])]
@@ -85,6 +106,40 @@ class LeastWorkLeft(DispatchPolicy):
     def choose(self, stations: Sequence[Station], rng: np.random.Generator) -> Station:
         if not stations:
             raise ValueError("no backend stations")
+        stations = _healthy(stations)
         work = np.fromiter((s.backlog_work() for s in stations), dtype=float)
         candidates = np.flatnonzero(work == work.min())
         return stations[int(candidates[rng.integers(len(candidates))])]
+
+
+class BackpressureDispatch(DispatchPolicy):
+    """Steer around saturated backends using their overload signal.
+
+    Dispatches through ``inner`` (default :class:`JoinShortestQueue`)
+    restricted to healthy stations whose
+    :meth:`~repro.sim.station.Station.pressure` — in-system requests per
+    server — is below ``pressure_limit``.  When every healthy station is
+    past the limit, the least-pressured one is chosen (degraded but
+    still directed away from the worst queues).  This closes the loop
+    with the resilience layer: the same per-station signal the client's
+    failover reads (``saturation_threshold``) steers dispatch *before*
+    requests pile onto a drowning site.
+    """
+
+    def __init__(self, inner: DispatchPolicy | None = None, pressure_limit: float = 2.0):
+        if pressure_limit <= 0:
+            raise ValueError(f"pressure_limit must be > 0, got {pressure_limit}")
+        self.inner = inner if inner is not None else JoinShortestQueue()
+        self.pressure_limit = float(pressure_limit)
+        self.steered = 0  # dispatches where >= 1 backend was over the limit
+
+    def choose(self, stations: Sequence[Station], rng: np.random.Generator) -> Station:
+        if not stations:
+            raise ValueError("no backend stations")
+        alive = _healthy(stations)
+        open_ = [s for s in alive if s.pressure() < self.pressure_limit]
+        if len(open_) < len(alive):
+            self.steered += 1
+        if open_:
+            return self.inner.choose(open_, rng)
+        return min(alive, key=lambda s: s.pressure())

@@ -39,6 +39,8 @@ class Request:
         "outcome",
         "canceled",
         "op_id",
+        "priority",
+        "degraded",
     )
 
     def __init__(
@@ -48,6 +50,7 @@ class Request:
         created: float = _UNSET,
         service_time: float | None = None,
         deadline: float = math.inf,
+        priority: int = 0,
     ):
         self.rid = rid
         self.site = site
@@ -63,8 +66,8 @@ class Request:
         # ``inf`` = none).  ``attempt`` counts delivery attempts for the
         # logical operation this record represents (1 = first try).
         # ``outcome`` is ``None`` while in flight / on plain success and
-        # a short tag otherwise ("ok", "dropped", "timeout", "deadline",
-        # "exhausted", "superseded").  ``canceled`` marks an attempt the
+        # a short tag otherwise ("ok", "dropped", "shed", "rejected",
+        # "timeout", "deadline", "exhausted", "superseded").  ``canceled`` marks an attempt the
         # client abandoned; stations discard canceled arrivals.
         # ``op_id`` links an attempt back to its logical operation.
         self.deadline = deadline
@@ -72,6 +75,12 @@ class Request:
         self.outcome: str | None = None
         self.canceled = False
         self.op_id: int | None = None
+        # Overload-control fields.  ``priority`` is the request class for
+        # priority-aware shedding: 0 is the most important, larger values
+        # are more sheddable.  ``degraded`` marks requests served by a
+        # brownout controller's cheaper variant (smaller model).
+        self.priority = int(priority)
+        self.degraded = False
 
     @property
     def wait(self) -> float:

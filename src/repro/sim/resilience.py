@@ -298,6 +298,8 @@ class ResilientClient:
         self.failovers = 0
         self.timeouts = 0
         self.drops = 0
+        self.sheds = 0  # server shed the attempt (queue discipline / overload)
+        self.server_rejects = 0  # server admission control refused the attempt
         self.rejected = 0  # fast-fails: breaker open, no fallback
         self._rng = sim.spawn_rng()
         self._attempt_index: dict[int, _Operation] = {}
@@ -471,8 +473,16 @@ class ResilientClient:
             return  # a zombie (timed out earlier) or foreign traffic
         _, target, breaker = op.live.pop(attempt.rid)
         now = self.sim.now
-        if attempt.outcome == "dropped":
-            self.drops += 1
+        if attempt.outcome in ("dropped", "shed", "rejected"):
+            # All three server refusals (bounded queue, discipline shed,
+            # admission reject) are fast failures to the client and count
+            # against the breaker the same way.
+            if attempt.outcome == "shed":
+                self.sheds += 1
+            elif attempt.outcome == "rejected":
+                self.server_rejects += 1
+            else:
+                self.drops += 1
             if breaker is not None:
                 breaker.record_failure(now)
             if self.retry is not None and not self.retry.retry_on_drop:
@@ -575,6 +585,8 @@ class ResilientClient:
             failovers=self.failovers,
             timeouts=self.timeouts,
             drops=self.drops,
+            sheds=self.sheds,
+            rejects=self.server_rejects,
             breaker_opens=self.breaker_opens,
             latencies=latencies,
         )

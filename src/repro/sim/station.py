@@ -1,9 +1,20 @@
-"""FCFS multi-server queue station.
+"""Multi-server queue station with pluggable overload control.
 
-A :class:`Station` models one serving location: a single FIFO queue in
-front of ``servers`` identical servers.  With ``servers = 1`` it is the
+A :class:`Station` models one serving location: a waiting line in front
+of ``servers`` identical servers.  With ``servers = 1`` it is the
 paper's edge site; with ``servers = k`` (or `k × cores`) and Poisson
 input it is the paper's cloud central queue (Figure 1b).
+
+The waiting line is managed by a pluggable
+:class:`~repro.sim.overload.QueueDiscipline` (FIFO by default;
+adaptive-LIFO and CoDel sojourn-dropping defend latency under
+overload), the front door by an optional admission policy
+(:mod:`repro.mitigation.admission`), and the service itself by an
+optional :class:`~repro.sim.overload.BrownoutController` that serves a
+cheaper degraded variant under pressure.  Refusals are accounted
+separately — ``rejected`` (admission), ``dropped`` (queue capacity),
+``shed`` (discipline/overload) — so reports can tell deliberate load
+shedding from passive overflow.
 
 The station keeps running time-integrals of busy servers and queue
 length so utilization and mean queue length can be read off exactly, and
@@ -12,18 +23,18 @@ supports run-time capacity changes (used by the autoscaling mitigation).
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable
 
 from repro.queueing.distributions import Distribution
 from repro.sim.engine import Simulation
+from repro.sim.overload import BrownoutController, FIFODiscipline, QueueDiscipline
 from repro.sim.request import Request
 
 __all__ = ["Station"]
 
 
 class Station:
-    """FCFS queue with ``servers`` parallel servers.
+    """Multi-server queue with ``servers`` parallel servers.
 
     Parameters
     ----------
@@ -47,6 +58,25 @@ class Station:
         ("starts dropping requests or thrashing").
     on_drop:
         Callback invoked with each dropped request.
+    discipline:
+        Waiting-line order/shedding policy
+        (:class:`~repro.sim.overload.QueueDiscipline`); ``None`` is
+        FIFO.  One instance per station.
+    admission:
+        Front-door policy with ``admit(station, request, now) -> bool``
+        (e.g. :class:`~repro.mitigation.admission.AdaptiveAdmission`).
+        Refused requests count as ``rejected`` and go to ``on_reject``.
+        If the policy exposes ``on_response(latency, ok, now)`` it is
+        fed every service completion and every drop/shed — the feedback
+        adaptive concurrency limiters learn from.
+    on_reject:
+        Callback invoked with each admission-rejected request.
+    brownout:
+        Optional :class:`~repro.sim.overload.BrownoutController`; under
+        pressure, service starts run a degraded (cheaper) variant.
+    on_shed:
+        Callback invoked with each discipline-shed request (defaults to
+        ``on_drop`` when unset, so sheds still surface to deployments).
     """
 
     def __init__(
@@ -58,6 +88,11 @@ class Station:
         on_departure: Callable[[Request], None] | None = None,
         queue_capacity: int | None = None,
         on_drop: Callable[[Request], None] | None = None,
+        discipline: QueueDiscipline | None = None,
+        admission=None,
+        on_reject: Callable[[Request], None] | None = None,
+        brownout: BrownoutController | None = None,
+        on_shed: Callable[[Request], None] | None = None,
     ):
         if servers < 1:
             raise ValueError(f"servers must be >= 1, got {servers}")
@@ -69,12 +104,23 @@ class Station:
         self.on_departure = on_departure
         self.queue_capacity = queue_capacity
         self.on_drop = on_drop
+        self.on_reject = on_reject
+        self.on_shed = on_shed
+        self.admission = admission
+        self._admission_feedback = getattr(admission, "on_response", None)
+        self.brownout = brownout
+        if brownout is not None:
+            brownout.bind(self)
         self.drops = 0
+        self.rejected = 0
+        self.shed = 0
+        self.degraded = 0
         self.cancellations = 0
         self._servers = int(servers)
         self._busy = 0
         self._failed = False
-        self._queue: deque[Request] = deque()
+        self._discipline = discipline if discipline is not None else FIFODiscipline()
+        self._discipline.bind(self)
         self._rng = sim.spawn_rng()
         # Exact time-integral accounting for utilization / queue length.
         self._last_change = sim.now
@@ -97,17 +143,32 @@ class Station:
     @property
     def queue_length(self) -> int:
         """Requests waiting (not in service)."""
-        return len(self._queue)
+        return len(self._discipline)
 
     @property
     def in_system(self) -> int:
         """Requests waiting or in service."""
-        return self._busy + len(self._queue)
+        return self._busy + len(self._discipline)
 
     @property
     def failed(self) -> bool:
         """True while the station is down (queues but does not serve)."""
         return self._failed
+
+    @property
+    def dropped(self) -> int:
+        """Queue-capacity drops (alias of ``drops``)."""
+        return self.drops
+
+    @property
+    def discipline(self) -> QueueDiscipline:
+        """The waiting-line discipline in use."""
+        return self._discipline
+
+    def pressure(self) -> float:
+        """In-system requests per server — the overload signal
+        backpressure-aware dispatch and failover read."""
+        return self.in_system / self._servers
 
     def backlog_work(self) -> float:
         """Approximate unfinished work in seconds (for least-work dispatch).
@@ -118,12 +179,14 @@ class Station:
         service and a good proxy otherwise.
         """
         mean = self.service_dist.mean if self.service_dist is not None else 0.0
-        queued = sum(r.service_time if r.service_time is not None else mean for r in self._queue)
+        queued = sum(
+            r.service_time if r.service_time is not None else mean for r in self._discipline
+        )
         return queued + 0.5 * mean * self._busy
 
     # -- dynamics --------------------------------------------------------
     def arrive(self, request: Request) -> None:
-        """Accept (or drop) a request at the current virtual time."""
+        """Accept (or refuse) a request at the current virtual time."""
         self._account()
         if request.canceled:
             # The client abandoned this attempt while it was on the wire
@@ -132,12 +195,19 @@ class Station:
             return
         self.arrivals += 1
         request.arrived = self.sim.now
+        if self.admission is not None and not self.admission.admit(self, request, self.sim.now):
+            self.rejected += 1
+            if self.on_reject is not None:
+                self.on_reject(request)
+            return
         if not self._failed and self._busy < self._servers:
             self._start(request)
-        elif self.queue_capacity is None or len(self._queue) < self.queue_capacity:
-            self._queue.append(request)
+        elif self.queue_capacity is None or len(self._discipline) < self.queue_capacity:
+            self._discipline.push(request)
         else:
             self.drops += 1
+            if self._admission_feedback is not None:
+                self._admission_feedback(None, False, self.sim.now)
             if self.on_drop is not None:
                 self.on_drop(request)
 
@@ -149,10 +219,9 @@ class Station:
         ignores the late response (wasted work, as in a real stack where
         the backend does not observe client disconnects mid-request).
         """
-        if request not in self._queue:
+        if not self._discipline.remove(request):
             return False
         self._account()
-        self._queue.remove(request)
         self.cancellations += 1
         return True
 
@@ -167,8 +236,23 @@ class Station:
             raise ValueError(f"servers must be >= 1, got {servers}")
         self._account()
         self._servers = int(servers)
-        while not self._failed and self._queue and self._busy < self._servers:
-            self._start(self._queue.popleft())
+        self._refill()
+
+    def _refill(self) -> None:
+        while not self._failed and self._busy < self._servers:
+            request = self._discipline.pop()
+            if request is None:
+                break
+            self._start(request)
+
+    def _shed(self, request: Request) -> None:
+        """Discipline callback: a waiting request was shed (overload)."""
+        self.shed += 1
+        if self._admission_feedback is not None:
+            self._admission_feedback(None, False, self.sim.now)
+        callback = self.on_shed if self.on_shed is not None else self.on_drop
+        if callback is not None:
+            callback(request)
 
     def _start(self, request: Request) -> None:
         self._busy += 1
@@ -180,6 +264,10 @@ class Station:
                     f"{request.rid} carries no service_time"
                 )
             request.service_time = float(self.service_dist.sample(self._rng))
+        if self.brownout is not None and self.brownout.should_degrade(self, request):
+            request.degraded = True
+            request.service_time *= self.brownout.degraded_scale
+            self.degraded += 1
         self.sim.schedule(request.service_time, self._finish, request)
 
     def _finish(self, request: Request) -> None:
@@ -187,8 +275,9 @@ class Station:
         self._busy -= 1
         self.completions += 1
         request.service_end = self.sim.now
-        if not self._failed and self._queue and self._busy < self._servers:
-            self._start(self._queue.popleft())
+        if self._admission_feedback is not None:
+            self._admission_feedback(request.service_end - request.arrived, True, self.sim.now)
+        self._refill()
         if self.on_departure is not None:
             self.on_departure(request)
 
@@ -203,15 +292,14 @@ class Station:
         """Bring the station back and immediately drain the backlog."""
         self._account()
         self._failed = False
-        while self._queue and self._busy < self._servers:
-            self._start(self._queue.popleft())
+        self._refill()
 
     # -- statistics ------------------------------------------------------
     def _account(self) -> None:
         dt = self.sim.now - self._last_change
         if dt > 0:
             self._busy_integral += dt * self._busy
-            self._queue_integral += dt * len(self._queue)
+            self._queue_integral += dt * len(self._discipline)
             self._last_change = self.sim.now
 
     @property
@@ -220,6 +308,23 @@ class Station:
         if self.arrivals == 0:
             return 0.0
         return self.drops / self.arrivals
+
+    @property
+    def refusal_rate(self) -> float:
+        """Fraction of arrivals refused for any reason (rejected, dropped
+        or shed) — the overload-control analogue of :attr:`loss_rate`."""
+        if self.arrivals == 0:
+            return 0.0
+        return (self.rejected + self.drops + self.shed) / self.arrivals
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of service starts that ran the degraded (brownout)
+        variant."""
+        started = self.completions + self._busy
+        if started <= 0:
+            return 0.0
+        return self.degraded / started
 
     def utilization(self) -> float:
         """Time-average fraction of busy servers since t=0."""
@@ -238,5 +343,5 @@ class Station:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Station(name={self.name!r}, servers={self._servers}, busy={self._busy}, "
-            f"queued={len(self._queue)})"
+            f"queued={len(self._discipline)})"
         )

@@ -44,7 +44,13 @@ class SiteRouter(Protocol):
 
 
 class EdgeSite:
-    """One edge location: a station reached over a short link."""
+    """One edge location: a station reached over a short link.
+
+    ``discipline``, ``admission`` and ``brownout`` are the per-station
+    overload controls (see :mod:`repro.sim.overload` and
+    :mod:`repro.mitigation.admission`); each instance is stateful and
+    belongs to this site alone.
+    """
 
     def __init__(
         self,
@@ -54,11 +60,23 @@ class EdgeSite:
         latency: LatencyModel,
         service_dist: Distribution | None = None,
         queue_capacity: int | None = None,
+        discipline=None,
+        admission=None,
+        brownout=None,
     ):
         self.sim = sim
         self.name = name
         self.latency = latency
-        self.station = Station(sim, servers, service_dist, name=name, queue_capacity=queue_capacity)
+        self.station = Station(
+            sim,
+            servers,
+            service_dist,
+            name=name,
+            queue_capacity=queue_capacity,
+            discipline=discipline,
+            admission=admission,
+            brownout=brownout,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EdgeSite(name={self.name!r}, servers={self.station.servers})"
@@ -95,11 +113,15 @@ class EdgeDeployment:
         self.log = RequestLog()
         self.on_complete = None  # optional hook: called with each finished request
         self.dropped = 0
+        self.shed = 0
+        self.rejected = 0
         self.lost = 0
         self._rng = sim.spawn_rng()
         for site in self.sites:
             site.station.on_departure = self._on_departure
             site.station.on_drop = self._on_drop
+            site.station.on_shed = self._on_shed
+            site.station.on_reject = self._on_reject
             # Map station back to its site for the return wire leg.
             site.station.site_ref = site  # type: ignore[attr-defined]
 
@@ -141,14 +163,28 @@ class EdgeDeployment:
         # wire leg, then surfaces through ``on_complete`` with a failed
         # outcome so closed-loop users and resilient clients observe it
         # (conserving the closed-loop population).
+        self._refuse(request, "dropped")
+
+    def _on_shed(self, request: Request) -> None:
+        self._refuse(request, "shed")
+
+    def _on_reject(self, request: Request) -> None:
+        self._refuse(request, "rejected")
+
+    def _refuse(self, request: Request, outcome: str) -> None:
         site = self.by_name[request.site]
         delay = site.latency.sample_oneway(self._rng)
-        self.sim.schedule(delay, self._complete_failed, request, "dropped")
+        self.sim.schedule(delay, self._complete_failed, request, outcome)
 
     def _complete_failed(self, request: Request, outcome: str) -> None:
         request.completed = self.sim.now
         request.outcome = outcome
-        self.dropped += 1
+        if outcome == "shed":
+            self.shed += 1
+        elif outcome == "rejected":
+            self.rejected += 1
+        else:
+            self.dropped += 1
         if self.on_complete is not None:
             self.on_complete(request)
 
@@ -191,6 +227,11 @@ class CloudDeployment:
     queue_capacity:
         Per-station bound on *waiting* requests (``None`` = unbounded).
         Rejections route through the drop path like edge drops.
+    discipline / admission / brownout:
+        Per-station overload controls (see :class:`EdgeSite`).  These
+        are stateful one-per-station objects, so with multiple backends
+        pass a zero-argument *factory* returning a fresh instance; a
+        plain instance is accepted when there is a single station.
     """
 
     def __init__(
@@ -203,6 +244,9 @@ class CloudDeployment:
         backends: int | None = None,
         lb_overhead: float = 0.0,
         queue_capacity: int | None = None,
+        discipline=None,
+        admission=None,
+        brownout=None,
     ):
         if lb_overhead < 0:
             raise ValueError(f"lb_overhead must be >= 0, got {lb_overhead}")
@@ -213,30 +257,32 @@ class CloudDeployment:
         self.log = RequestLog()
         self.on_complete = None  # optional hook: called with each finished request
         self.dropped = 0
+        self.shed = 0
+        self.rejected = 0
         self.lost = 0
         self._rng = sim.spawn_rng()
+
+        def make(control):
+            return control() if callable(control) else control
+
+        def station(n_servers, name):
+            return Station(
+                sim, n_servers, service_dist, name=name,
+                on_departure=self._on_departure, queue_capacity=queue_capacity,
+                on_drop=self._on_drop, on_shed=self._on_shed, on_reject=self._on_reject,
+                discipline=make(discipline), admission=make(admission),
+                brownout=make(brownout),
+            )
+
         if policy is None:
-            self.stations = [
-                Station(
-                    sim, servers, service_dist, name="cloud",
-                    on_departure=self._on_departure, queue_capacity=queue_capacity,
-                    on_drop=self._on_drop,
-                )
-            ]
+            self.stations = [station(servers, "cloud")]
         else:
             if backends is None:
                 raise ValueError("backends is required when a dispatch policy is given")
             if servers % backends != 0:
                 raise ValueError(f"servers ({servers}) must divide evenly among {backends} backends")
             per = servers // backends
-            self.stations = [
-                Station(
-                    sim, per, service_dist, name=f"cloud-{i}",
-                    on_departure=self._on_departure, queue_capacity=queue_capacity,
-                    on_drop=self._on_drop,
-                )
-                for i in range(backends)
-            ]
+            self.stations = [station(per, f"cloud-{i}") for i in range(backends)]
 
     def submit(self, request: Request) -> None:
         """Send a request from its client toward the cloud."""
@@ -269,13 +315,27 @@ class CloudDeployment:
         self.sim.schedule(delay, self._complete, request)
 
     def _on_drop(self, request: Request) -> None:
+        self._refuse(request, "dropped")
+
+    def _on_shed(self, request: Request) -> None:
+        self._refuse(request, "shed")
+
+    def _on_reject(self, request: Request) -> None:
+        self._refuse(request, "rejected")
+
+    def _refuse(self, request: Request, outcome: str) -> None:
         delay = self.latency.sample_oneway(self._rng)
-        self.sim.schedule(delay, self._complete_failed, request, "dropped")
+        self.sim.schedule(delay, self._complete_failed, request, outcome)
 
     def _complete_failed(self, request: Request, outcome: str) -> None:
         request.completed = self.sim.now
         request.outcome = outcome
-        self.dropped += 1
+        if outcome == "shed":
+            self.shed += 1
+        elif outcome == "rejected":
+            self.rejected += 1
+        else:
+            self.dropped += 1
         if self.on_complete is not None:
             self.on_complete(request)
 

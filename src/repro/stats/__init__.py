@@ -1,6 +1,7 @@
 """Measurement utilities: summaries, time series, CIs, warm-up trimming."""
 
 from repro.stats.ci import batch_means_ci
+from repro.stats.overload import OverloadSummary, summarize_overload
 from repro.stats.replications import (
     ReplicationSummary,
     replicate,
@@ -16,6 +17,8 @@ __all__ = [
     "summarize",
     "ResilienceSummary",
     "summarize_resilience",
+    "OverloadSummary",
+    "summarize_overload",
     "windowed_mean",
     "windowed_percentile",
     "batch_means_ci",

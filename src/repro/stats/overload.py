@@ -1,0 +1,157 @@
+"""Overload-control metrics: goodput, refusal taxonomy, degradation.
+
+Latency summaries describe the requests a station *served*; an overload
+experiment is judged by what happened to everything else.  This module
+aggregates the refusal taxonomy the stations keep —
+
+* ``rejected`` — refused at the admission door (adaptive or static
+  admission control),
+* ``dropped`` — bounded queue full on arrival,
+* ``shed`` — discarded by the queue discipline (CoDel sojourn drops,
+  overload LIFO abandonment),
+
+— together with brownout degradation counts into one
+:class:`OverloadSummary` per run: goodput (served requests per second),
+the refusal rate and its composition, the fraction of served requests
+that got the degraded variant, and the latency distribution of what was
+actually served.  The E11 acceptance claims ("CoDel keeps admitted p95
+bounded where FIFO diverges", "brownout beats pure dropping at equal
+offered load") are statements about these numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.stats.summary import LatencySummary, summarize
+
+__all__ = ["OverloadSummary", "summarize_overload"]
+
+
+@dataclass(frozen=True)
+class OverloadSummary:
+    """Served/refused/degraded accounting for one overloaded run.
+
+    Attributes
+    ----------
+    duration:
+        Observation window in virtual seconds.
+    offered:
+        Requests that arrived at the station(s) — admitted or not.
+    served:
+        Requests that completed service (including degraded ones).
+    rejected / dropped / shed:
+        The refusal taxonomy (admission door, full queue, discipline).
+    degraded:
+        Served requests that received the brownout (cheaper) variant.
+    goodput:
+        Served requests per virtual second.
+    refusal_rate:
+        ``(rejected + dropped + shed) / offered`` (0 when nothing
+        arrived).
+    degraded_fraction:
+        ``degraded / served`` (0 when nothing was served).
+    latency:
+        End-to-end (or server-side, per caller) latency distribution of
+        the served requests, ``None`` when nothing was served or no
+        sample was given.
+    """
+
+    duration: float
+    offered: int
+    served: int
+    rejected: int
+    dropped: int
+    shed: int
+    degraded: int
+    goodput: float
+    refusal_rate: float
+    degraded_fraction: float
+    latency: LatencySummary | None
+
+    @property
+    def refused(self) -> int:
+        """Total refusals across the taxonomy."""
+        return self.rejected + self.dropped + self.shed
+
+    def __str__(self) -> str:
+        lat = f" p95={self.latency.p95 * 1e3:.1f}ms" if self.latency is not None else ""
+        deg = f" degraded={self.degraded_fraction:.1%}" if self.degraded else ""
+        return (
+            f"offered={self.offered} served={self.served} "
+            f"refused={self.refused} ({self.refusal_rate:.1%}: "
+            f"rej={self.rejected} drop={self.dropped} shed={self.shed}) "
+            f"goodput={self.goodput:.2f}/s{deg}{lat}"
+        )
+
+
+def summarize_overload(
+    *,
+    duration: float,
+    stations: Sequence | None = None,
+    offered: int | None = None,
+    served: int | None = None,
+    rejected: int = 0,
+    dropped: int = 0,
+    shed: int = 0,
+    degraded: int = 0,
+    latencies: Iterable[float] | np.ndarray | None = None,
+) -> OverloadSummary:
+    """Build an :class:`OverloadSummary` from stations and/or raw counters.
+
+    When ``stations`` is given, each station's ``arrivals``,
+    ``completions``, ``rejected``, ``drops``, ``shed`` and ``degraded``
+    counters are summed and any explicit counter arguments are *added*
+    on top (so callers can merge station totals with, e.g., client-side
+    accounting).  Without ``stations``, ``offered`` and ``served`` must
+    be provided.
+
+    Raises
+    ------
+    ValueError
+        If ``duration`` is not positive, any counter is negative, or
+        neither ``stations`` nor ``offered``/``served`` is provided.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    offered = int(offered) if offered is not None else 0
+    served = int(served) if served is not None else 0
+    if stations:
+        for st in stations:
+            offered += st.arrivals
+            served += st.completions
+            rejected += st.rejected
+            dropped += st.drops
+            shed += st.shed
+            degraded += st.degraded
+    elif offered == 0 and served == 0 and not (rejected or dropped or shed):
+        raise ValueError("provide stations or offered/served counters")
+    counts = dict(
+        offered=offered, served=served, rejected=rejected,
+        dropped=dropped, shed=shed, degraded=degraded,
+    )
+    for key, value in counts.items():
+        if value < 0:
+            raise ValueError(f"{key} must be >= 0, got {value}")
+    latency = None
+    if latencies is not None:
+        sample = np.asarray(latencies, dtype=float)
+        if sample.size:
+            latency = summarize(sample)
+    refused = rejected + dropped + shed
+    return OverloadSummary(
+        duration=float(duration),
+        offered=offered,
+        served=served,
+        rejected=rejected,
+        dropped=dropped,
+        shed=shed,
+        degraded=degraded,
+        goodput=served / duration,
+        refusal_rate=(refused / offered) if offered else 0.0,
+        degraded_fraction=(degraded / served) if served else 0.0,
+        latency=latency,
+    )

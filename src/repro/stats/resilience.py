@@ -44,6 +44,11 @@ class ResilienceSummary:
     timeouts / drops:
         Attempt-level failures by cause (deadline-clamped timer fired;
         bounded queue rejected).
+    sheds / rejects:
+        Attempt-level failures from server-side overload control: shed
+        by a queue discipline (CoDel, adaptive LIFO) and refused at the
+        admission door, respectively.  Both default to 0 for runs
+        without overload control.
     breaker_opens:
         Circuit-breaker open transitions across all sites.
     goodput:
@@ -74,6 +79,8 @@ class ResilienceSummary:
     slo_attainment: float
     retry_amplification: float
     latency: LatencySummary | None
+    sheds: int = 0
+    rejects: int = 0
 
     def __str__(self) -> str:
         lat = f" p95={self.latency.p95 * 1e3:.1f}ms" if self.latency is not None else ""
@@ -96,6 +103,8 @@ def summarize_resilience(
     failovers: int = 0,
     timeouts: int = 0,
     drops: int = 0,
+    sheds: int = 0,
+    rejects: int = 0,
     breaker_opens: int = 0,
     latencies: np.ndarray | None = None,
 ) -> ResilienceSummary:
@@ -111,7 +120,7 @@ def summarize_resilience(
     counts = dict(
         successes=successes, failures=failures, slo_hits=slo_hits, attempts=attempts,
         retries=retries, hedges=hedges, failovers=failovers, timeouts=timeouts,
-        drops=drops, breaker_opens=breaker_opens,
+        drops=drops, sheds=sheds, rejects=rejects, breaker_opens=breaker_opens,
     )
     for key, value in counts.items():
         if value < 0:
@@ -132,6 +141,8 @@ def summarize_resilience(
         failovers=failovers,
         timeouts=timeouts,
         drops=drops,
+        sheds=sheds,
+        rejects=rejects,
         breaker_opens=breaker_opens,
         goodput=slo_hits / duration,
         slo_attainment=(slo_hits / operations) if operations else 0.0,

@@ -258,6 +258,49 @@ class TestRetryRecovery:
         assert client.successes == 1 and client.failures == 1
 
 
+class TestServerRefusals:
+    def test_admission_reject_counted_and_retried(self):
+        from repro.mitigation.admission import AdaptiveAdmission, StaticConcurrencyLimit
+
+        sim = Simulation(5)
+        site = EdgeSite(
+            sim, "s0", 1, ConstantLatency.from_ms(1.0), Deterministic(0.3),
+            admission=AdaptiveAdmission(StaticConcurrencyLimit(1.0)),
+        )
+        edge = EdgeDeployment(sim, [site])
+        client = ResilientClient(
+            sim, edge,
+            retry=RetryPolicy(max_attempts=4, backoff_base=0.2, backoff_cap=0.4),
+        )
+        _submit(sim, client, at=0.0)
+        _submit(sim, client, at=0.01)  # refused at the admission door
+        sim.run()
+        assert client.server_rejects >= 1
+        assert client.drops == 0 and client.sheds == 0
+        assert client.successes == 2  # the reject was retried to success
+        assert client.summary(2.0).rejects == client.server_rejects
+
+    def test_discipline_shed_counted_and_retried(self):
+        from repro.sim.overload import CoDelDiscipline
+
+        sim = Simulation(6)
+        site = EdgeSite(
+            sim, "s0", 1, ConstantLatency.from_ms(1.0), Deterministic(1.0),
+            discipline=CoDelDiscipline(target=0.1, interval=0.2),
+        )
+        edge = EdgeDeployment(sim, [site])
+        client = ResilientClient(
+            sim, edge,
+            retry=RetryPolicy(max_attempts=4, backoff_base=1.0, backoff_cap=2.0),
+        )
+        for i in range(5):
+            _submit(sim, client, at=0.01 * i)
+        sim.run()
+        assert client.sheds >= 1
+        assert client.server_rejects == 0
+        assert client.summary(10.0).sheds == client.sheds
+
+
 class TestHedging:
     def test_hedge_rescues_black_holed_attempt(self):
         sim = Simulation(4)

@@ -156,6 +156,52 @@ class TestDynamicCapacity:
         with pytest.raises(ValueError):
             Station(sim, 0)
 
+    def test_shrink_mid_overload_strands_nothing(self):
+        # Regression: shrinking while the queue is deep must neither lose
+        # queued requests nor double-count busy servers when the
+        # over-capacity in-flight work drains.
+        sim = Simulation(0)
+        st = Station(sim, 4, Deterministic(1.0))
+        busy_seen = []
+        st.on_departure = lambda r: busy_seen.append(st.busy)
+        for rid in range(12):
+            sim.schedule(0.0, st.arrive, make_request(rid))
+        sim.schedule(0.5, st.set_servers, 1)
+        sim.run()
+        assert st.completions == 12
+        assert st.busy == 0 and st.queue_length == 0
+        assert st.arrivals == st.completions
+        # Once the initial 4 in-flight drain past the new limit, the
+        # station never runs more than 1 server again.
+        assert all(b <= 1 for b in busy_seen[4:])
+
+    def test_shrink_then_grow_mid_overload(self):
+        sim = Simulation(0)
+        st = Station(sim, 4, Deterministic(1.0))
+        for rid in range(12):
+            sim.schedule(0.0, st.arrive, make_request(rid))
+        sim.schedule(0.5, st.set_servers, 1)
+        sim.schedule(2.5, st.set_servers, 3)
+        sim.run()
+        assert st.completions == 12
+        assert st.busy == 0 and st.queue_length == 0
+
+    def test_shrink_with_custom_discipline_and_capacity(self):
+        from repro.sim.overload import AdaptiveLIFODiscipline
+
+        sim = Simulation(0)
+        st = Station(
+            sim, 3, Deterministic(1.0),
+            queue_capacity=6,
+            discipline=AdaptiveLIFODiscipline(pressure_threshold=2),
+        )
+        for rid in range(12):
+            sim.schedule(0.0, st.arrive, make_request(rid))
+        sim.schedule(0.5, st.set_servers, 1)
+        sim.run()
+        assert st.arrivals == st.completions + st.drops
+        assert st.busy == 0 and st.queue_length == 0
+
 
 class TestBacklogWork:
     def test_counts_queued_known_service_times(self):

@@ -46,6 +46,12 @@ class TestFastExamples:
         assert "INVERTED" in out
         assert "metro" in out and "remote" in out
 
+    def test_overload_control(self):
+        out = run_example("overload_control.py")
+        assert "undefended FIFO" in out
+        assert "CoDel + admission + brownout" in out
+        assert "within SLO" in out
+
 
 @pytest.mark.slow
 class TestSlowExamples:
