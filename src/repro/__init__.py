@@ -56,6 +56,10 @@ _EXPORTS = {
     "delta_n_threshold_skewed": "repro.core.inversion",
     "cutoff_utilization_paper": "repro.core.inversion",
     "cutoff_utilization_exact": "repro.core.inversion",
+    "ExperimentResult": "repro.experiments.result",
+    "run_experiment": "repro.experiments.result",
+    "Telemetry": "repro.obs",
+    "RefusalCounts": "repro.stats.refusals",
 }
 
 __all__ = ["__version__", *_EXPORTS]

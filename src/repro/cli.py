@@ -9,104 +9,49 @@ Usage::
     python -m repro cutoff --cloud-rtt 24  # quick analytic cutoff query
     python -m repro sensitivity            # cutoff sensitivity sweeps
     python -m repro dump --outdir results  # persist all figures as JSON
+
+Every experiment command (and ``report`` / ``dump``) accepts
+``--telemetry PATH``: a :mod:`repro.obs` factory is installed for the
+run, so each simulation the experiment builds streams windowed records
+and a run summary to ``PATH`` as JSON lines (validated by
+``python -m repro.obs.schema PATH``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+from itertools import count
 
-from repro.experiments import figures as F
-from repro.experiments import report as R
 from repro.experiments.config import FAST, FULL, ExperimentConfig
-from repro.experiments.validation import paper_formula_consistency, validation_table
+from repro.experiments.result import available, get_spec, run_experiment
 
-__all__ = ["main"]
-
-
-def _run_validation(cfg: ExperimentConfig) -> str:
-    out = R.render_validation(validation_table(cfg))
-    consistency = paper_formula_consistency()
-    return out + f"\npaper formula unit consistency: {consistency}"
+__all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_resilience(cfg: ExperimentConfig) -> str:
-    from repro.experiments.resilience import outage_recovery, retry_storm
+def _experiment_text(name: str):
+    """Legacy runner shape: ``runner(cfg) -> str`` (deprecation shim)."""
 
-    storm = R.render_retry_storm(retry_storm(cfg))
-    recovery = R.render_outage_recovery(outage_recovery(cfg))
-    return storm + "\n\n" + recovery
+    def runner(cfg: ExperimentConfig) -> str:
+        return run_experiment(name, cfg).text
 
-
-def _run_overload(cfg: ExperimentConfig) -> str:
-    from repro.experiments import overload as O
-
-    sections = [
-        R.render_discipline_sweep(O.discipline_sweep(cfg)),
-        R.render_admission_pulse(O.admission_pulse(cfg)),
-        R.render_priority_shedding(O.priority_shedding(cfg)),
-        R.render_brownout_tradeoff(O.brownout_tradeoff(cfg)),
-        R.render_storm_defense(O.storm_defense(cfg)),
-    ]
-    return "\n\n".join(sections)
+    return runner
 
 
-# name -> (runner(cfg) -> str, description)
-EXPERIMENTS: dict[str, tuple[Callable[[ExperimentConfig], str], str]] = {
-    "fig2": (
-        lambda cfg: R.render_fig2(F.fig2_spatial_skew(cfg)),
-        "spatial load skew across edge cells (taxi stand-in)",
-    ),
-    "fig3": (
-        lambda cfg: R.render_sweep_figure(F.fig3_mean_typical(cfg)),
-        "mean latency, edge vs typical cloud (24 ms)",
-    ),
-    "fig4": (
-        lambda cfg: R.render_sweep_figure(F.fig4_mean_distant(cfg)),
-        "mean latency, edge vs distant cloud (54 ms)",
-    ),
-    "fig5": (
-        lambda cfg: R.render_sweep_figure(F.fig5_tail_distant(cfg)),
-        "p95 latency, edge vs distant cloud",
-    ),
-    "fig6": (
-        lambda cfg: R.render_fig6(F.fig6_distribution(cfg)),
-        "latency distributions at 10 req/s",
-    ),
-    "fig7": (
-        lambda cfg: R.render_fig7(F.fig7_cutoff_utilizations(cfg)),
-        "cutoff utilization vs cloud location",
-    ),
-    "fig8": (
-        lambda cfg: R.render_fig8(F.fig8_azure_workload(cfg)),
-        "per-site workload under the Azure-like trace",
-    ),
-    "fig9": (
-        lambda cfg: R.render_fig9(F.fig9_azure_latency(cfg)),
-        "edge vs cloud latency over time (Azure-like trace)",
-    ),
-    "fig10": (
-        lambda cfg: R.render_fig10(F.fig10_azure_per_site(cfg)),
-        "per-site latency box plot (Azure-like trace)",
-    ),
-    "validation": (_run_validation, "the §4.2 analytic-vs-measured table"),
-    "resilience": (
-        lambda cfg: _run_resilience(cfg),
-        "retry storms and breaker+failover recovery under edge outages",
-    ),
-    "overload": (
-        lambda cfg: _run_overload(cfg),
-        "server-side overload control: disciplines, admission, brownout",
-    ),
+#: Deprecated: name -> (runner(cfg) -> str, description).  Kept for
+#: callers of the pre-registry API; the source of truth is
+#: :mod:`repro.experiments.result`.
+EXPERIMENTS = {
+    spec.name: (_experiment_text(spec.name), spec.description) for spec in available()
 }
 
 
 def _cmd_list() -> int:
     print("available experiments:")
-    width = max(len(n) for n in EXPERIMENTS)
-    for name, (_, desc) in EXPERIMENTS.items():
-        print(f"  {name:<{width}}  {desc}")
+    specs = available()
+    width = max(len(s.name) for s in specs)
+    for spec in specs:
+        print(f"  {spec.name:<{width}}  {spec.description}")
     print("\nother commands: cutoff (analytic query), sensitivity, dump, list")
     return 0
 
@@ -176,6 +121,88 @@ def _cmd_cutoff(args: argparse.Namespace) -> int:
     return 0
 
 
+class _TelemetrySession:
+    """Scoped ``--telemetry`` enablement around one CLI command.
+
+    Installs a :mod:`repro.obs` factory sharing one JSON-lines exporter;
+    each simulation the command builds gets a fresh telemetry instance
+    labelled ``<command>/<n>`` so the records of a multi-run experiment
+    stay distinguishable in the shared file.
+    """
+
+    def __init__(self, path: str, window: float, label: str):
+        from repro import obs
+
+        self._obs = obs
+        self.path = path
+        self.exporter = obs.JsonLinesExporter(path)
+        seq = count(1)
+        obs.install(
+            lambda: obs.Telemetry(
+                window=window, exporters=[self.exporter], label=f"{label}/{next(seq)}"
+            )
+        )
+
+    def finish(self) -> None:
+        self._obs.uninstall()
+        self.exporter.close()
+        print(
+            f"telemetry: wrote {self.exporter.records} records to {self.path}",
+            file=sys.stderr,
+        )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="stream windowed telemetry to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--telemetry-window",
+        type=float,
+        default=5.0,
+        help="telemetry window in virtual seconds (default 5)",
+    )
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "sensitivity":
+        return _cmd_sensitivity()
+    if args.command == "cutoff":
+        return _cmd_cutoff(args)
+    if args.command == "dump":
+        return _cmd_dump(args, FULL if args.full else FAST)
+    if args.command == "report":
+        from pathlib import Path
+
+        from repro.experiments.paper_report import generate_report
+
+        only = args.only.split(",") if args.only else None
+        text = generate_report(FULL if args.full else FAST, only=only)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"wrote report to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    spec = get_spec(args.command)
+    cfg = FULL if args.full else FAST
+    if args.seed is not None:
+        cfg = ExperimentConfig(
+            requests_per_site=cfg.requests_per_site,
+            azure_duration=cfg.azure_duration,
+            azure_functions=cfg.azure_functions,
+            seed=args.seed,
+        )
+    print(run_experiment(spec.name, cfg).text)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -183,20 +210,23 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate experiments from 'The Hidden Cost of the Edge' (SC 2021).",
     )
     sub = parser.add_subparsers(dest="command")
-    for name, (_, desc) in EXPERIMENTS.items():
-        p = sub.add_parser(name, help=desc)
+    for spec in available():
+        p = sub.add_parser(spec.name, help=spec.description)
         p.add_argument("--full", action="store_true", help="publication-sized run")
         p.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+        _add_telemetry_args(p)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("sensitivity", help="analytic cutoff sensitivity sweeps")
     rep = sub.add_parser("report", help="full evaluation as one markdown report")
     rep.add_argument("--out", default=None, help="write to a file instead of stdout")
     rep.add_argument("--only", default=None, help="comma-separated section filters")
     rep.add_argument("--full", action="store_true", help="publication-sized run")
+    _add_telemetry_args(rep)
     dump = sub.add_parser("dump", help="persist figure results as JSON")
     dump.add_argument("--outdir", default="results", help="output directory")
     dump.add_argument("--figures", default=None, help="comma-separated subset")
     dump.add_argument("--full", action="store_true", help="publication-sized run")
+    _add_telemetry_args(dump)
     cut = sub.add_parser("cutoff", help="analytic inversion-cutoff query")
     cut.add_argument("--cloud-rtt", type=float, required=True, help="cloud RTT in ms")
     cut.add_argument("--edge-rtt", type=float, default=1.0, help="edge RTT in ms")
@@ -207,39 +237,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "sensitivity":
-        return _cmd_sensitivity()
-    if args.command == "cutoff":
-        return _cmd_cutoff(args)
-    if args.command == "dump":
-        return _cmd_dump(args, FULL if args.full else FAST)
-    if args.command == "report":
-        from repro.experiments.paper_report import generate_report
-
-        only = args.only.split(",") if args.only else None
-        text = generate_report(FULL if args.full else FAST, only=only)
-        if args.out:
-            from pathlib import Path
-
-            Path(args.out).write_text(text)
-            print(f"wrote report to {args.out}")
-        else:
-            print(text)
-        return 0
-
-    runner, _ = EXPERIMENTS[args.command]
-    cfg = FULL if args.full else FAST
-    if args.seed is not None:
-        cfg = ExperimentConfig(
-            requests_per_site=cfg.requests_per_site,
-            azure_duration=cfg.azure_duration,
-            azure_functions=cfg.azure_functions,
-            seed=args.seed,
-        )
-    print(runner(cfg))
-    return 0
+    session = None
+    if getattr(args, "telemetry", None):
+        session = _TelemetrySession(args.telemetry, args.telemetry_window, args.command)
+    try:
+        return _dispatch(args)
+    finally:
+        if session is not None:
+            session.finish()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -20,7 +20,19 @@ from repro.experiments.figures import (
     fig10_azure_per_site,
 )
 from repro.experiments.paper_report import generate_report
-from repro.experiments.persist import dump_all_figures, load_result, save_result
+from repro.experiments.persist import (
+    dump_all_figures,
+    dump_experiment,
+    load_result,
+    save_result,
+)
+from repro.experiments.result import (
+    ExperimentResult,
+    ExperimentSpec,
+    available,
+    register,
+    run_experiment,
+)
 from repro.experiments.sensitivity import (
     cutoff_vs_cores,
     cutoff_vs_delta_n,
@@ -32,8 +44,14 @@ from repro.experiments.validation import validation_table
 __all__ = [
     "generate_report",
     "dump_all_figures",
+    "dump_experiment",
     "save_result",
     "load_result",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "available",
+    "register",
+    "run_experiment",
     "cutoff_vs_cores",
     "cutoff_vs_delta_n",
     "cutoff_vs_service_cv2",

@@ -71,7 +71,9 @@ def load_result(path: str | Path) -> Any:
     return json.loads(Path(path).read_text())
 
 
-#: figure name -> runner; the persistable evaluation surface.
+#: Deprecated: figure name -> runner.  The registry in
+#: :mod:`repro.experiments.result` is the source of truth; this mapping
+#: remains for callers of the pre-registry API.
 FIGURE_RUNNERS: dict[str, Callable[[ExperimentConfig], Any]] = {
     "fig2": F.fig2_spatial_skew,
     "fig3": F.fig3_mean_typical,
@@ -85,10 +87,27 @@ FIGURE_RUNNERS: dict[str, Callable[[ExperimentConfig], Any]] = {
 }
 
 
+def dump_experiment(name: str, config: ExperimentConfig, path: str | Path) -> Path:
+    """Run one registered experiment and persist its full envelope.
+
+    Unlike :func:`dump_all_figures` (raw runner output, the historical
+    format) this writes the :class:`~repro.experiments.result.ExperimentResult`
+    projection — name, metadata, harvested tables/series and the
+    rendered text — one self-describing JSON file per experiment.
+    """
+    from repro.experiments.result import run_experiment
+
+    return run_experiment(name, config).save(path)
+
+
 def dump_all_figures(
     config: ExperimentConfig, outdir: str | Path, *, only: list[str] | None = None
 ) -> dict[str, Path]:
     """Run figure experiments and persist each to ``outdir/<name>.json``.
+
+    Figures run through the experiment registry
+    (:mod:`repro.experiments.result`); the persisted JSON remains the
+    raw runner output for continuity with previously dumped artifacts.
 
     Parameters
     ----------
@@ -100,6 +119,8 @@ def dump_all_figures(
     dict
         Figure name → written path.
     """
+    from repro.experiments.result import run_experiment
+
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     names = list(FIGURE_RUNNERS) if only is None else list(only)
@@ -108,8 +129,8 @@ def dump_all_figures(
         raise ValueError(f"unknown figures: {unknown}")
     written: dict[str, Path] = {}
     for name in names:
-        result = FIGURE_RUNNERS[name](config)
+        result = run_experiment(name, config)
         path = outdir / f"{name}.json"
-        save_result(result, path)
+        save_result(result.raw, path)
         written[name] = path
     return written

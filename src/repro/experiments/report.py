@@ -47,6 +47,7 @@ __all__ = [
     "render_priority_shedding",
     "render_brownout_tradeoff",
     "render_storm_defense",
+    "render_result",
 ]
 
 
@@ -316,3 +317,14 @@ def render_storm_defense(result: DefenseResult) -> str:
             f"{row.sheds:>6} {row.rejects:>8}"
         )
     return "\n".join(lines)
+
+
+def render_result(result) -> str:
+    """Render an :class:`~repro.experiments.result.ExperimentResult`.
+
+    The envelope already carries its renderer's output in ``text``;
+    this adds the standard header used by the aggregated report.
+    """
+    description = result.metadata.get("description", "")
+    header = f"== {result.name}" + (f": {description}" if description else "")
+    return f"{header} ==\n{result.text}"

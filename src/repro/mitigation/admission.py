@@ -340,6 +340,20 @@ class AdaptiveAdmission:
             return 0.0
         return 1.0 - self.admitted / self.offered
 
+    def observables(self) -> dict:
+        """Pull-model gauge readers for the telemetry registry.
+
+        The headline signal is ``limit`` — watching the adaptive limit
+        collapse and recover across windows is the whole point of the
+        E11 pulse experiment's telemetry view.
+        """
+        return {
+            "limit": lambda: self.limit.limit if hasattr(self.limit, "limit") else math.nan,
+            "offered": lambda: self.offered,
+            "admitted": lambda: self.admitted,
+            "rejection_rate": lambda: self.rejection_rate,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AdaptiveAdmission(limit={self.limit!r}, offered={self.offered})"
 

@@ -1,0 +1,58 @@
+"""Process-wide telemetry provider.
+
+The experiments layer builds dozens of :class:`~repro.sim.engine.Simulation`
+objects deep inside runner functions; threading a telemetry handle
+through every signature would make observability a tax on every API.
+Instead a *factory* is installed here (``--telemetry`` on the CLI, or
+:func:`installed` in tests) and every newly constructed ``Simulation``
+asks for a telemetry instance — one fresh instance per simulation, so
+concurrent runs in one process never share mutable window state.
+
+The default factory is ``None``: :func:`current_telemetry` then returns
+``None`` and the simulator's hot paths stay exactly as cheap as before
+the observability layer existed (a single ``is None`` check at
+construction time).
+
+This module deliberately imports nothing from :mod:`repro.sim` or the
+rest of :mod:`repro.obs`, so the engine can depend on it without any
+import-cycle risk.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+__all__ = ["install", "uninstall", "current_telemetry", "installed"]
+
+#: factory returning a fresh Telemetry (or None) per Simulation.
+_factory: Optional[Callable[[], object]] = None
+
+
+def install(factory: Callable[[], object]) -> None:
+    """Install a telemetry factory for subsequently created simulations."""
+    global _factory
+    _factory = factory
+
+
+def uninstall() -> None:
+    """Remove the installed factory (simulations revert to no telemetry)."""
+    global _factory
+    _factory = None
+
+
+def current_telemetry() -> object | None:
+    """One telemetry instance for a new simulation (``None`` = disabled)."""
+    return _factory() if _factory is not None else None
+
+
+@contextmanager
+def installed(factory: Callable[[], object]) -> Iterator[None]:
+    """Scoped install/uninstall (the test and library-embedding interface)."""
+    global _factory
+    previous = _factory
+    _factory = factory
+    try:
+        yield
+    finally:
+        _factory = previous

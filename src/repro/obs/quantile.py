@@ -1,0 +1,188 @@
+"""Streaming quantile estimation: the P² algorithm.
+
+Windowed telemetry needs per-window and whole-run percentiles without
+retaining every observation — a run at production scale completes
+millions of requests, and keeping a float per request just to read a
+p95 off at the end defeats the point of *live* observability.  The P²
+(piecewise-parabolic) estimator of Jain & Chlamtac (CACM 1985) tracks
+one quantile with five markers updated in O(1) per observation; its
+error on smooth distributions is a fraction of a percent, which the
+unit tests pin against exact NumPy percentiles.
+
+:class:`P2Quantile` is the single-quantile estimator;
+:class:`QuantileSketch` bundles several (p50/p95/p99 by default) behind
+one ``add``.  Both fall back to exact order statistics while fewer than
+five observations have been seen, so tiny telemetry windows still
+report sensible values.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["P2Quantile", "QuantileSketch"]
+
+
+class P2Quantile:
+    """P² streaming estimator of a single quantile.
+
+    Parameters
+    ----------
+    q:
+        The quantile to track, in (0, 1).
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = float(q)
+        self.count = 0
+        self._heights: list[float] = []  # marker heights (sorted)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]  # actual marker positions
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the sketch."""
+        x = float(x)
+        if math.isnan(x):
+            raise ValueError("cannot add NaN to a quantile sketch")
+        self.count += 1
+        h = self._heights
+        if self.count <= 5:
+            # Initialization phase: collect the first five observations.
+            lo, hi = 0, len(h)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if h[mid] < x:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            h.insert(lo, x)
+            return
+        pos = self._positions
+        # Locate the cell and clamp the extremes.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        # Desired positions advance by a fixed rate per observation, so
+        # they are computed from the count instead of stored and
+        # incremented — this add() runs ~4× per completed request under
+        # full telemetry and the 5-element update loop showed up in
+        # profiles.
+        steps = self.count - 5
+        rates = self._rates
+        desired = self._desired
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = desired[i] + steps * rates[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate of the tracked quantile (NaN before any data)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            # Exact order statistic on the few observations seen so far
+            # (linear interpolation, matching numpy's default).
+            h = self._heights
+            rank = self.q * (len(h) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(h) - 1)
+            return h[lo] + (rank - lo) * (h[hi] - h[lo])
+        return self._heights[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"P2Quantile(q={self.q}, n={self.count}, value={self.value():.6g})"
+
+
+class QuantileSketch:
+    """A bundle of P² estimators sharing one ``add`` stream.
+
+    Parameters
+    ----------
+    quantiles:
+        The quantiles to track (default p50, p95, p99).
+    """
+
+    __slots__ = ("count", "_sum", "_min", "_max", "_estimators")
+
+    def __init__(self, quantiles: tuple[float, ...] = (0.5, 0.95, 0.99)):
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self.count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._estimators = {q: P2Quantile(q) for q in quantiles}
+
+    def add(self, x: float) -> None:
+        """Fold one observation into every tracked quantile."""
+        x = float(x)
+        self.count += 1
+        self._sum += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        for est in self._estimators.values():
+            est.add(x)
+
+    def quantile(self, q: float) -> float:
+        """Estimate for one of the tracked quantiles."""
+        return self._estimators[q].value()
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else math.nan
+
+    def snapshot(self) -> dict[str, float]:
+        """All tracked statistics as a flat dict (``p50``-style keys)."""
+        out = {"count": float(self.count), "mean": self.mean}
+        for q, est in self._estimators.items():
+            out[f"p{q * 100:g}".replace(".", "_")] = est.value()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        qs = ", ".join(f"p{q * 100:g}" for q in self._estimators)
+        return f"QuantileSketch(n={self.count}, tracking=[{qs}])"

@@ -1,0 +1,167 @@
+"""Schema validation for exported telemetry (JSON lines).
+
+The JSON-lines telemetry format is a contract between the simulator and
+whatever consumes it (dashboards, the CI smoke job, downstream
+analysis).  This module pins that contract without pulling in a
+jsonschema dependency: a declarative field table per record type and a
+small structural checker.  ``python -m repro.obs.schema FILE`` (or
+:func:`validate_telemetry_file`) validates a whole export — CI runs one
+experiment with ``--telemetry`` and fails if any emitted line drifts
+from the schema.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+from pathlib import Path
+
+__all__ = ["validate_record", "validate_telemetry_file", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """An exported telemetry record does not match the schema."""
+
+
+_NUM = numbers.Real  # accepts int and float, rejects bool via explicit check
+_OPT_NUM = (numbers.Real, type(None))
+
+#: field -> (type spec, required).  Nested dicts validate sub-objects.
+_WINDOW_SCHEMA: dict = {
+    "type": (str, True),
+    "t_start": (_NUM, True),
+    "t_end": (_NUM, True),
+    "completed": (int, True),
+    "throughput": (_NUM, True),
+    "latency": (dict, True),
+    "sums": (dict, True),
+    "refused": (dict, True),
+    "failed_operations": (int, True),
+    "stations": (dict, True),
+    "run": (str, False),
+}
+
+_SUMS_SCHEMA = {
+    "net": (_NUM, True),
+    "wait": (_NUM, True),
+    "service": (_NUM, True),
+    "end_to_end": (_NUM, True),
+}
+
+_REFUSED_SCHEMA = {
+    "rejected": (int, True),
+    "dropped": (int, True),
+    "shed": (int, True),
+}
+
+_STATION_SCHEMA = {
+    "arrivals": (int, True),
+    "completions": (int, True),
+    "rejected": (int, True),
+    "dropped": (int, True),
+    "shed": (int, True),
+    "busy": (int, True),
+    "queue": (int, True),
+    "utilization": (_OPT_NUM, True),
+}
+
+_SUMMARY_SCHEMA = {
+    "type": (str, True),
+    "t_end": (_NUM, True),
+    "windows": (int, True),
+    "completed": (int, True),
+    "refused": (dict, True),
+    "failed_operations": (int, True),
+    "metrics": (dict, True),
+    "run": (str, False),
+}
+
+
+def _check(obj: dict, schema: dict, where: str) -> None:
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected an object, got {type(obj).__name__}")
+    for field, (kind, required) in schema.items():
+        if field not in obj:
+            if required:
+                raise SchemaError(f"{where}: missing required field {field!r}")
+            continue
+        value = obj[field]
+        if isinstance(value, bool) or not isinstance(value, kind):
+            raise SchemaError(
+                f"{where}.{field}: expected {kind}, got {type(value).__name__} ({value!r})"
+            )
+    unknown = set(obj) - set(schema)
+    if unknown:
+        raise SchemaError(f"{where}: unknown fields {sorted(unknown)}")
+
+
+def validate_record(record: dict) -> None:
+    """Validate one telemetry record; raises :class:`SchemaError`.
+
+    Two record types exist: ``window`` (one per elapsed Δt) and
+    ``summary`` (one per run, at the end).
+    """
+    if not isinstance(record, dict) or "type" not in record:
+        raise SchemaError("record must be an object with a 'type' field")
+    rtype = record["type"]
+    if rtype == "window":
+        _check(record, _WINDOW_SCHEMA, "window")
+        _check(record["sums"], _SUMS_SCHEMA, "window.sums")
+        _check(record["refused"], _REFUSED_SCHEMA, "window.refused")
+        latency = record["latency"]
+        for key, value in latency.items():
+            if value is not None and (isinstance(value, bool) or not isinstance(value, _NUM)):
+                raise SchemaError(f"window.latency.{key}: expected number or null")
+        for name, station in record["stations"].items():
+            _check(station, _STATION_SCHEMA, f"window.stations[{name!r}]")
+        if record["t_end"] < record["t_start"]:
+            raise SchemaError("window: t_end precedes t_start")
+        if record["completed"] < 0:
+            raise SchemaError("window: completed must be >= 0")
+    elif rtype == "summary":
+        _check(record, _SUMMARY_SCHEMA, "summary")
+        _check(record["refused"], _REFUSED_SCHEMA, "summary.refused")
+    else:
+        raise SchemaError(f"unknown record type {rtype!r}")
+
+
+def validate_telemetry_file(path: str | Path) -> int:
+    """Validate a JSON-lines telemetry export; returns the record count.
+
+    Raises :class:`SchemaError` on the first invalid line (with its line
+    number) and :class:`ValueError` if the file holds no records at all.
+    """
+    count = 0
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: invalid JSON ({exc})") from exc
+            try:
+                validate_record(record)
+            except SchemaError as exc:
+                raise SchemaError(f"line {lineno}: {exc}") from exc
+            count += 1
+    if count == 0:
+        raise ValueError(f"{path}: no telemetry records found")
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import sys
+
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python -m repro.obs.schema FILE", file=sys.stderr)
+        return 2
+    count = validate_telemetry_file(args[0])
+    print(f"{args[0]}: {count} records ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.provider import current_telemetry
+
 __all__ = ["Simulation"]
 
 
@@ -30,6 +32,12 @@ class Simulation:
     seed:
         Seed for the master :class:`numpy.random.Generator`.  Components
     that need independent streams should call :meth:`spawn_rng`.
+    telemetry:
+        Explicit observability bundle (:class:`repro.obs.Telemetry`).
+        When omitted, the process-wide provider is consulted
+        (:func:`repro.obs.install`); the default is ``None`` — no
+        telemetry, and the simulator runs exactly as before the
+        observability layer existed.
 
     Attributes
     ----------
@@ -37,11 +45,18 @@ class Simulation:
         Current virtual time in seconds.
     rng:
         Master random generator (components usually use spawned streams).
+    telemetry:
+        The bound telemetry instance, or ``None`` when disabled.
+        Components read this once at construction time, so the event
+        hot path never pays for disabled observability.
     """
 
-    def __init__(self, seed: int | None = 0):
+    def __init__(self, seed: int | None = 0, telemetry=None):
         self.now: float = 0.0
         self.rng = np.random.default_rng(seed)
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        if self.telemetry is not None:
+            self.telemetry.bind(self)
         self._calendar: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq = count()
         self._running = False
@@ -101,6 +116,11 @@ class Simulation:
                     self.now = max(self.now, until)
         finally:
             self._running = False
+        if self.telemetry is not None and not self._calendar:
+            # The calendar drained: nothing can ever be scheduled again,
+            # so the run is over — flush the partial window and emit the
+            # run summary (idempotent).
+            self.telemetry.finish()
         return self.now
 
     def stop(self) -> None:

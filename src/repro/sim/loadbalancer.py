@@ -143,3 +143,10 @@ class BackpressureDispatch(DispatchPolicy):
         if open_:
             return self.inner.choose(open_, rng)
         return min(alive, key=lambda s: s.pressure())
+
+    def observables(self) -> dict:
+        """Pull-model gauge readers for the telemetry registry."""
+        return {
+            "steered": lambda: self.steered,
+            "pressure_limit": lambda: self.pressure_limit,
+        }

@@ -153,6 +153,10 @@ class AdaptiveLIFODiscipline(QueueDiscipline):
             return self._queue.pop()
         return self._queue.popleft()
 
+    def observables(self) -> dict:
+        """Pull-model gauge readers for the telemetry registry."""
+        return {"lifo_pops": lambda: self.lifo_pops}
+
 
 class CoDelDiscipline(QueueDiscipline):
     """Controlled-delay (CoDel) sojourn-time dropping at dequeue.
@@ -301,6 +305,16 @@ class BrownoutController:
         if self.offered == 0:
             return 0.0
         return self.degraded / self.offered
+
+    def observables(self) -> dict:
+        """Pull-model gauge readers for the telemetry registry."""
+        return {
+            "dimmer": lambda: (
+                self.dimmer(self._station) if self._station is not None else 0.0
+            ),
+            "degraded": lambda: self.degraded,
+            "degraded_fraction": lambda: self.degraded_fraction,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -45,6 +45,7 @@ from repro.sim.client import _GLOBAL_RID
 from repro.sim.engine import Simulation
 from repro.sim.request import Request
 from repro.sim.tracing import RequestLog
+from repro.stats.refusals import RefusalCounts
 from repro.stats.resilience import ResilienceSummary, summarize_resilience
 
 __all__ = ["RetryPolicy", "HedgePolicy", "BreakerConfig", "CircuitBreaker", "ResilientClient"]
@@ -302,6 +303,9 @@ class ResilientClient:
         self.server_rejects = 0  # server admission control refused the attempt
         self.rejected = 0  # fast-fails: breaker open, no fallback
         self._rng = sim.spawn_rng()
+        self._tel = sim.telemetry
+        if self._tel is not None:
+            self._tel.register_client(self)
         self._attempt_index: dict[int, _Operation] = {}
         self._latency_window: deque[float] = deque(maxlen=hedge.window if hedge else 1)
         self._hedge_cache: float | None = hedge.delay if hedge else None
@@ -358,6 +362,14 @@ class ResilientClient:
             op.attempts += 1
             self.attempts += 1
             self.rejected += 1
+            if self._tel is not None:
+                self._tel.record_attempt(
+                    op.request,
+                    "first" if op.attempts == 1 else "retry",
+                    "breaker_open",
+                    target="primary",
+                    start=now,
+                )
             self._after_attempt_failure(op)
             return
 
@@ -372,13 +384,15 @@ class ResilientClient:
         if is_hedge:
             op.hedges += 1
             self.hedges += 1
+            kind = "hedge"
         else:
             op.attempts += 1
             if op.attempts > 1:
                 self.retries += 1
+            kind = "first" if op.attempts == 1 else "retry"
         attempt.attempt = op.attempts + op.hedges
         self.attempts += 1
-        op.live[attempt.rid] = (attempt, target, routed_breaker)
+        op.live[attempt.rid] = (attempt, target, routed_breaker, kind)
         self._attempt_index[attempt.rid] = op
         expiry = op.deadline
         if self.timeout is not None:
@@ -455,7 +469,7 @@ class ResilientClient:
         entry = op.live.pop(rid, None)
         if entry is None:
             return
-        attempt, target, breaker = entry
+        attempt, target, breaker, kind = entry
         attempt.outcome = "timeout"
         self.timeouts += 1
         if self.cancel_on_timeout:
@@ -465,13 +479,15 @@ class ResilientClient:
                 cancel(attempt)
         if breaker is not None:
             breaker.record_failure(self.sim.now)
+        if self._tel is not None:
+            self._tel.record_attempt(attempt, kind, "timeout", self._target_label(target))
         self._after_attempt_failure(op)
 
     def _attempt_complete(self, attempt: Request) -> None:
         op = self._attempt_index.pop(attempt.rid, None)
         if op is None or op.done:
             return  # a zombie (timed out earlier) or foreign traffic
-        _, target, breaker = op.live.pop(attempt.rid)
+        _, target, breaker, kind = op.live.pop(attempt.rid)
         now = self.sim.now
         if attempt.outcome in ("dropped", "shed", "rejected"):
             # All three server refusals (bounded queue, discipline shed,
@@ -485,6 +501,8 @@ class ResilientClient:
                 self.drops += 1
             if breaker is not None:
                 breaker.record_failure(now)
+            if self._tel is not None:
+                self._tel.record_attempt(attempt, kind, attempt.outcome, self._target_label(target))
             if self.retry is not None and not self.retry.retry_on_drop:
                 if not op.live:
                     self._fail_op(op, "dropped")
@@ -493,8 +511,10 @@ class ResilientClient:
             return
         if breaker is not None:
             breaker.record_success(now)
+        if self._tel is not None:
+            self._tel.record_attempt(attempt, kind, "ok", self._target_label(target))
         self._record_latency(now - attempt.created)
-        for sibling_rid, (sibling, starget, sbreaker) in list(op.live.items()):
+        for sibling_rid, (sibling, starget, sbreaker, skind) in list(op.live.items()):
             self._attempt_index.pop(sibling_rid, None)
             sibling.outcome = "superseded"
             sibling.canceled = True
@@ -503,6 +523,8 @@ class ResilientClient:
                 cancel(sibling)
             if sbreaker is not None:
                 sbreaker.record_abandoned()
+            if self._tel is not None:
+                self._tel.record_attempt(sibling, skind, "superseded", self._target_label(starget))
         op.live.clear()
         op.done = True
         origin = op.request
@@ -551,8 +573,16 @@ class ResilientClient:
         origin.outcome = outcome
         origin.attempt = op.attempts + op.hedges
         self.failed.append(origin)
+        if self._tel is not None:
+            self._tel.record_failed_operation(origin)
         if self.on_complete is not None:
             self.on_complete(origin)
+
+    def _target_label(self, target) -> str:
+        """Which deployment an attempt went to, for span attributes."""
+        if self.fallback is not None and target is self.fallback and target is not self.primary:
+            return "fallback"
+        return "primary"
 
     def _record_latency(self, latency: float) -> None:
         if self.hedge is not None and self.hedge.delay is None:
@@ -569,6 +599,11 @@ class ResilientClient:
     def breaker_opens(self) -> int:
         """Open transitions summed over all per-site breakers."""
         return sum(b.opens for b in self.breakers.values())
+
+    @property
+    def refusal_counts(self) -> RefusalCounts:
+        """Server refusals observed across this client's attempts."""
+        return RefusalCounts.from_client(self)
 
     def summary(self, duration: float | None = None) -> ResilienceSummary:
         """Operation-level metrics over ``duration`` (default: now)."""

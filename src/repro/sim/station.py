@@ -128,6 +128,11 @@ class Station:
         self._queue_integral = 0.0
         self.arrivals = 0
         self.completions = 0
+        # Observability is pull-model for stations: the collector polls
+        # counters and occupancy at window boundaries, so the per-event
+        # paths above pay nothing whether telemetry is on or off.
+        if sim.telemetry is not None:
+            sim.telemetry.register_station(self)
 
     # -- state inspection ------------------------------------------------
     @property
@@ -310,12 +315,20 @@ class Station:
         return self.drops / self.arrivals
 
     @property
+    def refusal_counts(self):
+        """The refusal taxonomy as one value
+        (:class:`~repro.stats.refusals.RefusalCounts`)."""
+        from repro.stats.refusals import RefusalCounts
+
+        return RefusalCounts.from_station(self)
+
+    @property
     def refusal_rate(self) -> float:
         """Fraction of arrivals refused for any reason (rejected, dropped
         or shed) — the overload-control analogue of :attr:`loss_rate`."""
         if self.arrivals == 0:
             return 0.0
-        return (self.rejected + self.drops + self.shed) / self.arrivals
+        return self.refusal_counts.rate(self.arrivals)
 
     @property
     def degraded_fraction(self) -> float:
@@ -325,6 +338,20 @@ class Station:
         if started <= 0:
             return 0.0
         return self.degraded / started
+
+    def busy_time(self) -> float:
+        """Cumulative busy-server seconds since t=0.
+
+        The windowed telemetry collector differences this between window
+        boundaries to get exact per-window utilization.
+        """
+        self._account()
+        return self._busy_integral
+
+    def queue_time(self) -> float:
+        """Cumulative waiting-request seconds since t=0 (see :meth:`busy_time`)."""
+        self._account()
+        return self._queue_integral
 
     def utilization(self) -> float:
         """Time-average fraction of busy servers since t=0."""

@@ -25,6 +25,7 @@ from repro.sim.network import LatencyModel
 from repro.sim.request import Request
 from repro.sim.station import Station
 from repro.sim.tracing import RequestLog
+from repro.stats.refusals import RefusalCounts
 
 __all__ = ["EdgeSite", "EdgeDeployment", "CloudDeployment", "SiteRouter"]
 
@@ -117,6 +118,7 @@ class EdgeDeployment:
         self.rejected = 0
         self.lost = 0
         self._rng = sim.spawn_rng()
+        self._tel = sim.telemetry
         for site in self.sites:
             site.station.on_departure = self._on_departure
             site.station.on_drop = self._on_drop
@@ -185,14 +187,23 @@ class EdgeDeployment:
             self.rejected += 1
         else:
             self.dropped += 1
+        if self._tel is not None:
+            self._tel.record_refusal(request, outcome)
         if self.on_complete is not None:
             self.on_complete(request)
 
     def _complete(self, request: Request) -> None:
         request.completed = self.sim.now
         self.log.add(request)
+        if self._tel is not None:
+            self._tel.record_success(request)
         if self.on_complete is not None:
             self.on_complete(request)
+
+    @property
+    def refusal_counts(self) -> RefusalCounts:
+        """Refusals that surfaced to clients, as one value."""
+        return RefusalCounts.from_deployment(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EdgeDeployment(sites={[s.name for s in self.sites]})"
@@ -261,6 +272,7 @@ class CloudDeployment:
         self.rejected = 0
         self.lost = 0
         self._rng = sim.spawn_rng()
+        self._tel = sim.telemetry
 
         def make(control):
             return control() if callable(control) else control
@@ -283,6 +295,8 @@ class CloudDeployment:
                 raise ValueError(f"servers ({servers}) must divide evenly among {backends} backends")
             per = servers // backends
             self.stations = [station(per, f"cloud-{i}") for i in range(backends)]
+        if self._tel is not None and policy is not None:
+            self._tel.register_observables("lb.cloud", policy)
 
     def submit(self, request: Request) -> None:
         """Send a request from its client toward the cloud."""
@@ -336,14 +350,23 @@ class CloudDeployment:
             self.rejected += 1
         else:
             self.dropped += 1
+        if self._tel is not None:
+            self._tel.record_refusal(request, outcome)
         if self.on_complete is not None:
             self.on_complete(request)
 
     def _complete(self, request: Request) -> None:
         request.completed = self.sim.now
         self.log.add(request)
+        if self._tel is not None:
+            self._tel.record_success(request)
         if self.on_complete is not None:
             self.on_complete(request)
+
+    @property
+    def refusal_counts(self) -> RefusalCounts:
+        """Refusals that surfaced to clients, as one value."""
+        return RefusalCounts.from_deployment(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "central-queue" if self.policy is None else type(self.policy).__name__

@@ -71,9 +71,21 @@ class LatencyBreakdown:
 
 @dataclass
 class RequestLog:
-    """Sink for completed requests."""
+    """Sink for completed requests.
+
+    ``breakdown()`` memoizes its columnar conversion: summaries,
+    reports and live telemetry all ask for the same view repeatedly, and
+    rebuilding six arrays per call turns O(n) analysis into O(n·calls).
+    The cache is invalidated whenever the log length changes, so
+    interleaving ``add`` and ``breakdown`` (as windowed telemetry does)
+    always sees current data.
+    """
 
     requests: list[Request] = field(default_factory=list)
+    _cache: "LatencyBreakdown | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _cache_len: int = field(default=-1, repr=False, compare=False)
 
     def add(self, request: Request) -> None:
         """Record a completed request."""
@@ -85,8 +97,10 @@ class RequestLog:
         return len(self.requests)
 
     def breakdown(self) -> LatencyBreakdown:
-        """Materialize the columnar latency view."""
+        """Materialize the columnar latency view (cached per log length)."""
         n = len(self.requests)
+        if self._cache is not None and self._cache_len == n:
+            return self._cache
         created = np.empty(n)
         e2e = np.empty(n)
         wait = np.empty(n)
@@ -100,4 +114,6 @@ class RequestLog:
             service[i] = r.service_time
             network[i] = r.network_time
             site[i] = r.site
-        return LatencyBreakdown(created, e2e, wait, service, network, site)
+        self._cache = LatencyBreakdown(created, e2e, wait, service, network, site)
+        self._cache_len = n
+        return self._cache

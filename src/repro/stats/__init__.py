@@ -2,6 +2,7 @@
 
 from repro.stats.ci import batch_means_ci
 from repro.stats.overload import OverloadSummary, summarize_overload
+from repro.stats.refusals import RefusalCounts
 from repro.stats.replications import (
     ReplicationSummary,
     replicate,
@@ -19,6 +20,7 @@ __all__ = [
     "summarize_resilience",
     "OverloadSummary",
     "summarize_overload",
+    "RefusalCounts",
     "windowed_mean",
     "windowed_percentile",
     "batch_means_ci",

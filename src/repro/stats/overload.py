@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.stats.refusals import RefusalCounts
 from repro.stats.summary import LatencySummary, summarize
 
 __all__ = ["OverloadSummary", "summarize_overload"]
@@ -73,9 +74,14 @@ class OverloadSummary:
     latency: LatencySummary | None
 
     @property
+    def refusals(self) -> RefusalCounts:
+        """The refusal taxonomy as one value."""
+        return RefusalCounts(rejected=self.rejected, dropped=self.dropped, shed=self.shed)
+
+    @property
     def refused(self) -> int:
         """Total refusals across the taxonomy."""
-        return self.rejected + self.dropped + self.shed
+        return self.refusals.total
 
     def __str__(self) -> str:
         lat = f" p95={self.latency.p95 * 1e3:.1f}ms" if self.latency is not None else ""
@@ -83,7 +89,7 @@ class OverloadSummary:
         return (
             f"offered={self.offered} served={self.served} "
             f"refused={self.refused} ({self.refusal_rate:.1%}: "
-            f"rej={self.rejected} drop={self.dropped} shed={self.shed}) "
+            f"{self.refusals}) "
             f"goodput={self.goodput:.2f}/s{deg}{lat}"
         )
 
@@ -119,21 +125,16 @@ def summarize_overload(
         raise ValueError(f"duration must be > 0, got {duration}")
     offered = int(offered) if offered is not None else 0
     served = int(served) if served is not None else 0
+    refusals = RefusalCounts(rejected=rejected, dropped=dropped, shed=shed)
     if stations:
+        refusals = refusals + RefusalCounts.from_stations(stations)
         for st in stations:
             offered += st.arrivals
             served += st.completions
-            rejected += st.rejected
-            dropped += st.drops
-            shed += st.shed
             degraded += st.degraded
-    elif offered == 0 and served == 0 and not (rejected or dropped or shed):
+    elif offered == 0 and served == 0 and not refusals:
         raise ValueError("provide stations or offered/served counters")
-    counts = dict(
-        offered=offered, served=served, rejected=rejected,
-        dropped=dropped, shed=shed, degraded=degraded,
-    )
-    for key, value in counts.items():
+    for key, value in dict(offered=offered, served=served, degraded=degraded).items():
         if value < 0:
             raise ValueError(f"{key} must be >= 0, got {value}")
     latency = None
@@ -141,17 +142,16 @@ def summarize_overload(
         sample = np.asarray(latencies, dtype=float)
         if sample.size:
             latency = summarize(sample)
-    refused = rejected + dropped + shed
     return OverloadSummary(
         duration=float(duration),
         offered=offered,
         served=served,
-        rejected=rejected,
-        dropped=dropped,
-        shed=shed,
+        rejected=refusals.rejected,
+        dropped=refusals.dropped,
+        shed=refusals.shed,
         degraded=degraded,
         goodput=served / duration,
-        refusal_rate=(refused / offered) if offered else 0.0,
+        refusal_rate=refusals.rate(offered),
         degraded_fraction=(degraded / served) if served else 0.0,
         latency=latency,
     )

@@ -1,0 +1,105 @@
+"""The refusal taxonomy as one value type.
+
+PRs 1–2 grew three parallel refusal-accounting paths — station counters
+(``rejected`` / ``drops`` / ``shed``), deployment outcome counters, and
+the resilient client's attempt accounting — each plumbed field by field
+into summaries and reports.  :class:`RefusalCounts` consolidates the
+taxonomy behind one immutable value:
+
+* ``rejected`` — refused at the admission door,
+* ``dropped``  — bounded queue full on arrival,
+* ``shed``     — discarded by the queue discipline (CoDel, overload LIFO).
+
+Counts add (``a + b`` sums component-wise), convert (``as_dict``) and
+rate (``rate(offered)``), and every accounting source exposes the same
+property: ``Station.refusal_counts``, ``EdgeDeployment.refusal_counts``,
+``CloudDeployment.refusal_counts`` and
+``ResilientClient.refusal_counts``.  The constructors below also accept
+those objects directly, so aggregation code reads
+``sum(RefusalCounts.from_station(s) for s in stations)`` instead of
+three parallel ``sum(...)`` expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["RefusalCounts"]
+
+
+@dataclass(frozen=True)
+class RefusalCounts:
+    """Refusals by cause: admission door, full queue, discipline shed."""
+
+    rejected: int = 0
+    dropped: int = 0
+    shed: int = 0
+
+    def __post_init__(self):
+        for name in ("rejected", "dropped", "shed"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+
+    @property
+    def total(self) -> int:
+        """Refusals across the whole taxonomy."""
+        return self.rejected + self.dropped + self.shed
+
+    def rate(self, offered: int) -> float:
+        """Fraction of ``offered`` arrivals refused (0 when none arrived)."""
+        return self.total / offered if offered else 0.0
+
+    def __add__(self, other: "RefusalCounts") -> "RefusalCounts":
+        if not isinstance(other, RefusalCounts):
+            return NotImplemented
+        return RefusalCounts(
+            rejected=self.rejected + other.rejected,
+            dropped=self.dropped + other.dropped,
+            shed=self.shed + other.shed,
+        )
+
+    def __radd__(self, other) -> "RefusalCounts":
+        if other == 0:  # sum(...) starts from int 0
+            return self
+        return self.__add__(other)
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The taxonomy as a plain dict (telemetry records, JSON)."""
+        return {"rejected": self.rejected, "dropped": self.dropped, "shed": self.shed}
+
+    # -- constructors from the three accounting sources ------------------
+    @classmethod
+    def from_station(cls, station) -> "RefusalCounts":
+        """Counts kept by a :class:`~repro.sim.station.Station`."""
+        return cls(rejected=station.rejected, dropped=station.drops, shed=station.shed)
+
+    @classmethod
+    def from_stations(cls, stations: Iterable) -> "RefusalCounts":
+        """Summed counts of several stations."""
+        total = cls()
+        for station in stations:
+            total = total + cls.from_station(station)
+        return total
+
+    @classmethod
+    def from_deployment(cls, deployment) -> "RefusalCounts":
+        """Outcome counts kept by an edge or cloud deployment."""
+        return cls(
+            rejected=deployment.rejected,
+            dropped=deployment.dropped,
+            shed=deployment.shed,
+        )
+
+    @classmethod
+    def from_client(cls, client) -> "RefusalCounts":
+        """Server refusals observed by a resilient client's attempts."""
+        return cls(
+            rejected=client.server_rejects, dropped=client.drops, shed=client.sheds
+        )
+
+    def __str__(self) -> str:
+        return f"rej={self.rejected} drop={self.dropped} shed={self.shed}"
