@@ -1,0 +1,105 @@
+"""Parallel-substrate guard: zero drift, and speedup where cores exist.
+
+Runs the Figure-7-style utilization grid (13 sweep points, one scenario,
+FAST sizing) sequentially and with 4 workers, then asserts:
+
+* **zero drift** — the parallel sweep is bit-identical to the
+  sequential one (always asserted, on any machine);
+* **≥ 2× wall-clock speedup at 4 workers** — asserted when the machine
+  actually has ≥ 4 CPUs (process fan-out cannot beat the sequential
+  loop on fewer cores; the test skips with the measured numbers so CI
+  logs still show the trajectory).
+
+Either way the measured timings are written to ``BENCH_parallel.json``
+at the repo root so the perf trajectory is tracked across commits.
+
+Run with::
+
+    pytest benchmarks/test_parallel_scaling.py -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.comparator import EdgeCloudComparator
+from repro.core.scenarios import TYPICAL_CLOUD
+
+WORKERS = 4
+REQUESTS_PER_SITE = 30_000
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+
+def _fig7_grid():
+    """The Figure-7 utilization grid (~13 points) as per-site rates."""
+    grid = np.arange(0.15, 0.97, 0.0665)
+    return [TYPICAL_CLOUD.rate_for_utilization(float(u)) for u in grid]
+
+
+@pytest.fixture(scope="module")
+def scaling_run():
+    """One timed sequential + parallel sweep pair, shared by both tests."""
+    rates = _fig7_grid()
+    cmp_ = EdgeCloudComparator(
+        TYPICAL_CLOUD, requests_per_site=REQUESTS_PER_SITE, seed=2021
+    )
+    t0 = time.perf_counter()
+    sequential = cmp_.sweep(rates, workers=1)
+    t1 = time.perf_counter()
+    parallel = cmp_.sweep(rates, workers=WORKERS)
+    t2 = time.perf_counter()
+    seconds_sequential = t1 - t0
+    seconds_parallel = t2 - t1
+    identical = all(
+        p.edge == q.edge and p.cloud == q.cloud
+        for p, q in zip(sequential.points, parallel.points)
+    )
+    payload = {
+        "benchmark": "figure-7 utilization grid, typical cloud (24 ms)",
+        "sweep_points": len(rates),
+        "requests_per_site": REQUESTS_PER_SITE,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "seconds_sequential": round(seconds_sequential, 3),
+        "seconds_parallel": round(seconds_parallel, 3),
+        "speedup": round(seconds_sequential / seconds_parallel, 3),
+        "bit_identical": identical,
+        "speedup_asserted": (os.cpu_count() or 1) >= WORKERS,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\nparallel scaling: {payload['speedup']}x at {WORKERS} workers "
+        f"({payload['cpu_count']} CPUs), sequential {seconds_sequential:.2f}s, "
+        f"parallel {seconds_parallel:.2f}s -> {BENCH_PATH.name}"
+    )
+    return payload, sequential, parallel
+
+
+def test_parallel_sweep_zero_drift(scaling_run):
+    """Bit-identical results for 4 workers vs sequential — on any machine."""
+    payload, sequential, parallel = scaling_run
+    assert payload["bit_identical"]
+    for p, q in zip(sequential.points, parallel.points):
+        assert p.edge == q.edge
+        assert p.cloud == q.cloud
+        assert p.utilization == q.utilization
+
+
+def test_parallel_sweep_speedup(scaling_run):
+    """≥ 2× wall-clock at 4 workers, on machines with the cores to show it."""
+    payload, _, _ = scaling_run
+    if (os.cpu_count() or 1) < WORKERS:
+        pytest.skip(
+            f"{os.cpu_count()} CPU(s) < {WORKERS} workers: speedup not "
+            f"demonstrable here (measured {payload['speedup']}x; timings "
+            f"recorded in {BENCH_PATH.name})"
+        )
+    assert payload["speedup"] >= 2.0, (
+        f"expected >= 2x speedup at {WORKERS} workers, got "
+        f"{payload['speedup']}x (sequential {payload['seconds_sequential']}s, "
+        f"parallel {payload['seconds_parallel']}s)"
+    )

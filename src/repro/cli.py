@@ -15,16 +15,24 @@ Every experiment command (and ``report`` / ``dump``) accepts
 run, so each simulation the experiment builds streams windowed records
 and a run summary to ``PATH`` as JSON lines (validated by
 ``python -m repro.obs.schema PATH``).
+
+They also accept ``--workers N`` (default ``$REPRO_WORKERS`` or 1):
+independent simulation runs inside the experiment fan out across N
+processes via :mod:`repro.parallel`, with results bit-identical to the
+sequential run.  ``--telemetry`` and ``--workers > 1`` are mutually
+exclusive — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from itertools import count
 
 from repro.experiments.config import FAST, FULL, ExperimentConfig
 from repro.experiments.result import available, get_spec, run_experiment
+from repro.parallel import resolve_workers
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -152,7 +160,7 @@ class _TelemetrySession:
         )
 
 
-def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
         metavar="PATH",
@@ -165,6 +173,25 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
         default=5.0,
         help="telemetry window in virtual seconds (default 5)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="processes for independent simulation runs "
+        "(default $REPRO_WORKERS or 1; results are bit-identical "
+        "for any N, and incompatible with --telemetry for N > 1)",
+    )
+
+
+def _sized_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The experiment config implied by --full/--seed/--workers."""
+    cfg = FULL if getattr(args, "full", False) else FAST
+    if getattr(args, "seed", None) is not None:
+        cfg = replace(cfg, seed=args.seed)
+    if getattr(args, "workers", None) is not None:
+        cfg = replace(cfg, workers=args.workers)
+    return cfg
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -175,14 +202,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cutoff":
         return _cmd_cutoff(args)
     if args.command == "dump":
-        return _cmd_dump(args, FULL if args.full else FAST)
+        return _cmd_dump(args, _sized_config(args))
     if args.command == "report":
         from pathlib import Path
 
         from repro.experiments.paper_report import generate_report
 
         only = args.only.split(",") if args.only else None
-        text = generate_report(FULL if args.full else FAST, only=only)
+        text = generate_report(_sized_config(args), only=only)
         if args.out:
             Path(args.out).write_text(text)
             print(f"wrote report to {args.out}")
@@ -191,15 +218,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     spec = get_spec(args.command)
-    cfg = FULL if args.full else FAST
-    if args.seed is not None:
-        cfg = ExperimentConfig(
-            requests_per_site=cfg.requests_per_site,
-            azure_duration=cfg.azure_duration,
-            azure_functions=cfg.azure_functions,
-            seed=args.seed,
-        )
-    print(run_experiment(spec.name, cfg).text)
+    print(run_experiment(spec.name, _sized_config(args)).text)
     return 0
 
 
@@ -214,19 +233,19 @@ def main(argv: list[str] | None = None) -> int:
         p = sub.add_parser(spec.name, help=spec.description)
         p.add_argument("--full", action="store_true", help="publication-sized run")
         p.add_argument("--seed", type=int, default=None, help="override the RNG seed")
-        _add_telemetry_args(p)
+        _add_common_args(p)
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("sensitivity", help="analytic cutoff sensitivity sweeps")
     rep = sub.add_parser("report", help="full evaluation as one markdown report")
     rep.add_argument("--out", default=None, help="write to a file instead of stdout")
     rep.add_argument("--only", default=None, help="comma-separated section filters")
     rep.add_argument("--full", action="store_true", help="publication-sized run")
-    _add_telemetry_args(rep)
+    _add_common_args(rep)
     dump = sub.add_parser("dump", help="persist figure results as JSON")
     dump.add_argument("--outdir", default="results", help="output directory")
     dump.add_argument("--figures", default=None, help="comma-separated subset")
     dump.add_argument("--full", action="store_true", help="publication-sized run")
-    _add_telemetry_args(dump)
+    _add_common_args(dump)
     cut = sub.add_parser("cutoff", help="analytic inversion-cutoff query")
     cut.add_argument("--cloud-rtt", type=float, required=True, help="cloud RTT in ms")
     cut.add_argument("--edge-rtt", type=float, default=1.0, help="edge RTT in ms")
@@ -237,8 +256,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    if getattr(args, "workers", None) is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
     session = None
     if getattr(args, "telemetry", None):
+        # Telemetry is process-local (spans recorded in pool workers could
+        # never reach this process's exporter), so fan-out and telemetry
+        # are mutually exclusive — fail loudly instead of dropping spans.
+        if resolve_workers(getattr(args, "workers", None)) > 1:
+            parser.error(
+                "--telemetry cannot be combined with --workers > 1 "
+                "(or $REPRO_WORKERS > 1): worker processes do not stream "
+                "spans back, so the telemetry file would silently miss "
+                "most of the run.  Drop one of the two flags."
+            )
         session = _TelemetrySession(args.telemetry, args.telemetry_window, args.command)
     try:
         return _dispatch(args)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.inversion import cutoff_utilization_exact
 from repro.core.scenarios import Scenario
+from repro.parallel import derive_rng, run_tasks
 from repro.queueing.distributions import fit_two_moments
 from repro.sim.fastsim import simulate_edge_system, simulate_single_queue_system
 from repro.stats.summary import LatencySummary, summarize
@@ -161,7 +162,11 @@ class EdgeCloudComparator:
                 f"rate {rate_per_site} req/s saturates a site "
                 f"(max {s.saturation_rate_per_site} req/s)"
             )
-        rng = np.random.default_rng(self.seed + 7919 * seed_offset)
+        # SeedSequence-derived child stream: collision-free across sweep
+        # points *and* across comparators with nearby base seeds (the old
+        # ``seed + 7919 * offset`` arithmetic could alias other
+        # experiments' raw seeds).
+        rng = derive_rng(self.seed, seed_offset)
         arrivals, services = self._site_workloads(rate_per_site, rng)
 
         edge = simulate_edge_system(
@@ -182,28 +187,42 @@ class EdgeCloudComparator:
             cloud=summarize(cloud.after(cut).end_to_end),
         )
 
-    def sweep(self, rates) -> ComparisonResult:
-        """Measure a series of per-site rates (a full figure's series)."""
+    def sweep(self, rates, *, workers: int | None = None) -> ComparisonResult:
+        """Measure a series of per-site rates (a full figure's series).
+
+        Parameters
+        ----------
+        rates:
+            Per-site request rates to measure, in order.
+        workers:
+            Process count for the fan-out (``None`` = ``$REPRO_WORKERS``
+            or 1).  Each point's RNG stream is derived from its index, so
+            the result is bit-identical for every worker count.
+        """
         rates = list(rates)
         if not rates:
             raise ValueError("rates must be non-empty")
-        points = tuple(
-            self.measure_point(r, seed_offset=i) for i, r in enumerate(rates)
+        points = run_tasks(
+            self.measure_point,
+            [(float(r), i) for i, r in enumerate(rates)],
+            workers=workers,
+            label="sweep point",
         )
-        return ComparisonResult(scenario=self.scenario, points=points)
+        return ComparisonResult(scenario=self.scenario, points=tuple(points))
 
     def find_crossover(
-        self, metric: str = "mean", utilizations=None
+        self, metric: str = "mean", utilizations=None, *, workers: int | None = None
     ) -> tuple[float | None, float | None]:
         """Locate the inversion point over a default utilization grid.
 
         Returns ``(rate, utilization)`` of the crossover, or
         ``(None, None)`` if the edge stays ahead below saturation.
+        ``workers`` fans the underlying sweep across processes.
         """
         if utilizations is None:
             utilizations = np.arange(0.1, 0.96, 0.05)
         rates = [self.scenario.rate_for_utilization(float(u)) for u in utilizations]
-        result = self.sweep(rates)
+        result = self.sweep(rates, workers=workers)
         rate = result.crossover_rate(metric)
         if rate is None:
             return None, None

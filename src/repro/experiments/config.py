@@ -26,18 +26,26 @@ class ExperimentConfig:
         Number of serverless functions generated.
     seed:
         Base seed; every experiment derives independent streams from it.
+    workers:
+        Process count for independent simulation runs within an
+        experiment (sweep points, paired edge/cloud runs); ``None``
+        defers to ``$REPRO_WORKERS`` (default 1).  Results are
+        bit-identical for every worker count (:mod:`repro.parallel`).
     """
 
     requests_per_site: int = 40_000
     azure_duration: float = 2 * 3600.0
     azure_functions: int = 40
     seed: int = 2021
+    workers: int | None = None
 
     def __post_init__(self):
         if self.requests_per_site < 1000:
             raise ValueError(f"requests_per_site too small: {self.requests_per_site}")
         if self.azure_duration <= 0 or self.azure_functions < 5:
             raise ValueError("invalid azure trace sizing")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
 
 FAST = ExperimentConfig(requests_per_site=30_000, azure_duration=3600.0)

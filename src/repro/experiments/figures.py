@@ -104,11 +104,11 @@ def _sweep_figure(
 ) -> SweepFigure:
     k5 = EdgeCloudComparator(
         scenario, requests_per_site=config.requests_per_site, seed=config.seed
-    ).sweep(PAPER_RATE_SWEEP)
+    ).sweep(PAPER_RATE_SWEEP, workers=config.workers)
     two = scenario.with_machines(2)
     k10 = EdgeCloudComparator(
         two, requests_per_site=config.requests_per_site, seed=config.seed + 1
-    ).sweep([2.0 * r for r in PAPER_RATE_SWEEP])
+    ).sweep([2.0 * r for r in PAPER_RATE_SWEEP], workers=config.workers)
     return SweepFigure(scenario=scenario, metric=metric, k5=k5, k10=k10)
 
 
@@ -190,7 +190,7 @@ def fig7_cutoff_utilizations(config: ExperimentConfig = FAST) -> Fig7Result:
             scenario, requests_per_site=config.requests_per_site, seed=config.seed + i
         )
         rates = [scenario.rate_for_utilization(float(u)) for u in grid]
-        result = cmp_.sweep(rates)
+        result = cmp_.sweep(rates, workers=config.workers)
         means.append(result.crossover_utilization("mean"))
         tails.append(result.crossover_utilization("p95"))
         preds.append(cmp_.predict_cutoff_utilization())

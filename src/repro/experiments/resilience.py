@@ -33,6 +33,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
+from repro.parallel import run_tasks
 from repro.queueing.distributions import Exponential
 from repro.sim import (
     BreakerConfig,
@@ -203,13 +204,22 @@ def retry_storm(
     cover per-site utilizations 0.38-0.77 — straddling the paper's
     inversion crossover.
     """
-    points = []
+    # Every (rate, client, tier) cell is an independently seeded run, so
+    # the whole grid fans across processes (cfg.workers) with results
+    # bit-identical to the sequential loop.
+    tasks = []
     for i, rate in enumerate(rates):
         base = cfg.seed + 1000 * i
-        ne, _, _ = _storm_cell(base + 1, rate, duration, slo_deadline, False, True)
-        nc, _, _ = _storm_cell(base + 2, rate, duration, slo_deadline, False, False)
-        re_, ea, ef = _storm_cell(base + 3, rate, duration, slo_deadline, True, True)
-        rc, ca, _ = _storm_cell(base + 4, rate, duration, slo_deadline, True, False)
+        tasks += [
+            (base + 1, rate, duration, slo_deadline, False, True),
+            (base + 2, rate, duration, slo_deadline, False, False),
+            (base + 3, rate, duration, slo_deadline, True, True),
+            (base + 4, rate, duration, slo_deadline, True, False),
+        ]
+    cells = run_tasks(_storm_cell, tasks, workers=cfg.workers, label="storm cell")
+    points = []
+    for i, rate in enumerate(rates):
+        (ne, _, _), (nc, _, _), (re_, ea, ef), (rc, ca, _) = cells[4 * i : 4 * i + 4]
         points.append(StormPoint(rate, ne, nc, re_, rc, ea, ca, ef))
     return StormResult(
         points=points,

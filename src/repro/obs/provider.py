@@ -16,6 +16,12 @@ construction time).
 This module deliberately imports nothing from :mod:`repro.sim` or the
 rest of :mod:`repro.obs`, so the engine can depend on it without any
 import-cycle risk.
+
+The factory is **process-local**: it does not propagate into the worker
+processes used by :mod:`repro.parallel` (workers clear any factory
+inherited via fork, and :func:`repro.parallel.run_tasks` raises rather
+than fan out while one is installed here).  Telemetry is therefore an
+explicitly single-process feature — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
-__all__ = ["install", "uninstall", "current_telemetry", "installed"]
+__all__ = ["install", "uninstall", "current_telemetry", "installed", "is_installed"]
 
 #: factory returning a fresh Telemetry (or None) per Simulation.
 _factory: Optional[Callable[[], object]] = None
@@ -39,6 +45,19 @@ def uninstall() -> None:
     """Remove the installed factory (simulations revert to no telemetry)."""
     global _factory
     _factory = None
+
+
+def is_installed() -> bool:
+    """True while a telemetry factory is installed.
+
+    The factory is *process-local* state: worker processes spawned by
+    :func:`repro.parallel.run_tasks` never consult the parent's factory
+    (forked workers explicitly clear any inherited one), because spans
+    recorded in a worker could not reach the parent's exporters.
+    ``run_tasks`` uses this predicate to refuse fan-out while telemetry
+    is on, rather than silently dropping records.
+    """
+    return _factory is not None
 
 
 def current_telemetry() -> object | None:

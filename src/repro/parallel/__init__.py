@@ -1,0 +1,38 @@
+"""Parallel execution substrate: process fan-out + deterministic seeding.
+
+Two halves, used together by every layer that splits one experiment into
+independent runs:
+
+* :mod:`repro.parallel.pool` — :func:`run_tasks`, the ordered
+  process-pool map with serial fallback and per-task error naming;
+* :mod:`repro.parallel.seeding` — :class:`numpy.random.SeedSequence`
+  based seed derivation, the collision-free replacement for arithmetic
+  on raw integer seeds.
+
+The substrate's invariant: **parallel results are bit-identical to
+sequential ones.**  Seeds depend only on the task's index under the
+experiment's base seed, never on scheduling, so
+``Comparator.sweep(workers=4)`` equals ``sweep(workers=1)`` value for
+value — guarded by ``tests/parallel`` and
+``benchmarks/test_parallel_scaling.py``.  See ``docs/performance.md``.
+"""
+
+from repro.parallel.pool import ParallelTaskError, resolve_workers, run_tasks
+from repro.parallel.seeding import (
+    derive_rng,
+    derive_seed,
+    derive_seedseq,
+    seed_sequence,
+    spawn_child,
+)
+
+__all__ = [
+    "ParallelTaskError",
+    "resolve_workers",
+    "run_tasks",
+    "derive_rng",
+    "derive_seed",
+    "derive_seedseq",
+    "seed_sequence",
+    "spawn_child",
+]

@@ -1,0 +1,190 @@
+"""Process-pool fan-out for independent simulation runs.
+
+Every figure in the paper is a sweep of independently seeded runs, so
+the natural execution model is embarrassingly parallel: ship each run to
+a worker process, collect results in submission order, and guarantee the
+outcome is bit-identical to the sequential loop (seeds are derived from
+the task index via :mod:`repro.parallel.seeding`, never from execution
+order).
+
+:func:`run_tasks` is the one entry point.  Design points:
+
+* **Ordered results** — ``results[i]`` always corresponds to
+  ``tasks[i]``, regardless of which worker finished first.
+* **Serial fallback** — ``workers=1`` (the default, or via
+  ``REPRO_WORKERS``) runs the plain loop with zero pool overhead and
+  unwrapped exceptions.  Non-picklable callables (lambdas, closures over
+  live simulations) also fall back, with a diagnostic warning naming the
+  offending object instead of a cryptic pool crash.
+* **Error propagation** — a crash in one worker surfaces as
+  :class:`ParallelTaskError` naming the failing task index and carrying
+  the worker-side traceback text; remaining tasks are cancelled.
+* **Telemetry safety** — the process-wide :func:`repro.obs.install`
+  factory is process-local state.  Rather than silently dropping spans
+  in forked workers, ``run_tasks`` refuses to fan out while a factory is
+  installed (and each worker additionally clears any inherited factory).
+* **No nested pools** — a task that itself calls ``run_tasks`` runs its
+  subtasks serially inside the worker, so layered APIs (a parallel sweep
+  whose points call a parallel ``run_comparison``) cannot fork-bomb.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ParallelTaskError", "resolve_workers", "run_tasks"]
+
+#: Environment variable giving the default worker count (``workers=None``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set in worker processes so nested ``run_tasks`` calls stay serial.
+_IN_WORKER_ENV = "REPRO_IN_WORKER"
+
+
+class ParallelTaskError(RuntimeError):
+    """One task of a parallel batch failed.
+
+    The message names the failing task (label and index) and embeds the
+    worker-side traceback; the original exception is chained as
+    ``__cause__`` on the serial path (worker processes can only ship the
+    formatted text).
+    """
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: ``None`` means ``$REPRO_WORKERS`` or 1.
+
+    Inside a pool worker the answer is always 1 (nested fan-out would
+    oversubscribe and risk recursive process creation).
+    """
+    if os.environ.get(_IN_WORKER_ENV):
+        return 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        workers = int(raw) if raw else 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _worker_init() -> None:
+    """Runs once in every worker: neutralize inherited process state."""
+    os.environ[_IN_WORKER_ENV] = "1"
+    # A fork-started worker inherits the parent's installed telemetry
+    # factory; spans recorded there would never reach the parent's
+    # exporter.  Workers are telemetry-free by contract (docs/performance.md).
+    from repro.obs import provider
+
+    provider.uninstall()
+
+
+def _call(payload):
+    index, label, fn, args = payload
+    try:
+        return fn(*args)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        raise ParallelTaskError(
+            f"{label} #{index} (args={args!r}) failed in worker with "
+            f"{type(exc).__name__}: {exc}\n{tb}"
+        ) from exc
+
+
+def _pickle_diagnostic(fn: Callable, tasks: Sequence[tuple]) -> str | None:
+    """Reason ``fn``/``tasks`` cannot cross a process boundary, or ``None``."""
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        return f"callable {fn!r} is not picklable ({type(exc).__name__}: {exc})"
+    try:
+        pickle.dumps(tasks)
+    except Exception as exc:
+        return f"task arguments are not picklable ({type(exc).__name__}: {exc})"
+    return None
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Iterable[tuple],
+    *,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    label: str = "task",
+) -> list:
+    """Run ``fn(*task)`` for every task, fanning across processes.
+
+    Parameters
+    ----------
+    fn:
+        Callable applied to each task's positional arguments.  Must be
+        picklable (module-level function or bound method of a picklable
+        object) for true parallelism; otherwise the serial fallback runs
+        with a diagnostic warning.
+    tasks:
+        Iterable of positional-argument tuples, one per run.
+    workers:
+        Process count; ``None`` reads ``$REPRO_WORKERS`` (default 1).
+        ``1`` is the exact sequential loop — no pool, no wrapping.
+    chunksize:
+        Tasks shipped per worker dispatch; default balances ~4 chunks
+        per worker.
+    label:
+        Human name used in error messages ("sweep point", "replication").
+
+    Returns
+    -------
+    list
+        ``fn(*tasks[i])`` results in task order — bit-identical to the
+        sequential loop for any worker count, because nothing about the
+        computation depends on scheduling.
+
+    Raises
+    ------
+    ParallelTaskError
+        If a task fails in a worker (named by index, traceback attached).
+        On the serial path the task's original exception propagates
+        unwrapped.
+    RuntimeError
+        If ``workers > 1`` while a telemetry factory is installed —
+        fan-out would silently drop every span recorded in the workers;
+        run with ``workers=1`` or uninstall telemetry first.
+    """
+    tasks = [tuple(t) for t in tasks]
+    workers = resolve_workers(workers)
+    if workers > 1:
+        from repro.obs import provider
+
+        if provider.is_installed():
+            raise RuntimeError(
+                "telemetry is installed (repro.obs.install) but run_tasks was "
+                "asked for workers > 1: worker processes cannot stream spans "
+                "back to this process's exporters, so the records would be "
+                "silently lost.  Use workers=1 with telemetry, or uninstall "
+                "the factory around the parallel section."
+            )
+    if workers == 1 or len(tasks) <= 1:
+        return [fn(*t) for t in tasks]
+
+    diagnostic = _pickle_diagnostic(fn, tasks)
+    if diagnostic is not None:
+        warnings.warn(
+            f"run_tasks falling back to serial execution: {diagnostic}. "
+            "Pass a module-level function (or a bound method of a picklable "
+            "object) to enable process parallelism.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(*t) for t in tasks]
+
+    workers = min(workers, len(tasks))
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (workers * 4))
+    payloads = [(i, label, fn, t) for i, t in enumerate(tasks)]
+    with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+        return list(pool.map(_call, payloads, chunksize=chunksize))

@@ -9,6 +9,7 @@ latency breakdown.
 
 from __future__ import annotations
 
+from repro.parallel import run_tasks
 from repro.queueing.distributions import Distribution, Exponential
 from repro.sim.client import OpenLoopSource
 from repro.sim.engine import Simulation
@@ -128,6 +129,11 @@ def run_deployment(
     return deployment.log.breakdown().after(duration * warmup_fraction)
 
 
+def _run_deployment_task(kind: str, kwargs: dict) -> LatencyBreakdown:
+    """Module-level trampoline so :func:`run_comparison` tasks pickle."""
+    return run_deployment(kind, **kwargs)
+
+
 def run_comparison(
     *,
     sites: int,
@@ -138,6 +144,7 @@ def run_comparison(
     cloud_latency: LatencyModel,
     duration: float,
     seed: int = 0,
+    workers: int | None = None,
     **kwargs,
 ) -> tuple[LatencyBreakdown, LatencyBreakdown]:
     """Run the paper's paired experiment: same workload, edge vs cloud.
@@ -146,32 +153,30 @@ def run_comparison(
     arguments are forwarded to :func:`run_deployment` (e.g. ``policy``
     for the cloud or ``site_rates`` for skew — deployment-specific knobs
     are routed to the deployment they apply to).
+
+    The two runs are seeded independently, so with ``workers >= 2`` they
+    execute concurrently in separate processes with bit-identical
+    results (:mod:`repro.parallel`).
     """
     edge_kwargs = dict(kwargs)
     cloud_kwargs = dict(kwargs)
     edge_kwargs.pop("policy", None)
     edge_kwargs.pop("backends", None)
     cloud_kwargs.pop("router", None)
-    edge = run_deployment(
-        "edge",
+    shared = dict(
         sites=sites,
         servers_per_site=servers_per_site,
         rate_per_site=rate_per_site,
         service_dist=service_dist,
-        latency=edge_latency,
         duration=duration,
-        seed=seed,
-        **edge_kwargs,
     )
-    cloud = run_deployment(
-        "cloud",
-        sites=sites,
-        servers_per_site=servers_per_site,
-        rate_per_site=rate_per_site,
-        service_dist=service_dist,
-        latency=cloud_latency,
-        duration=duration,
-        seed=seed + 1,
-        **cloud_kwargs,
+    edge, cloud = run_tasks(
+        _run_deployment_task,
+        [
+            ("edge", {**shared, "latency": edge_latency, "seed": seed, **edge_kwargs}),
+            ("cloud", {**shared, "latency": cloud_latency, "seed": seed + 1, **cloud_kwargs}),
+        ],
+        workers=workers,
+        label="deployment run",
     )
     return edge, cloud

@@ -24,6 +24,8 @@ from typing import Callable
 import numpy as np
 from scipy import stats as sps
 
+from repro.parallel import derive_seed, resolve_workers, run_tasks
+
 __all__ = ["ReplicationSummary", "replicate", "replications_for_precision"]
 
 
@@ -77,12 +79,24 @@ class ReplicationSummary:
         )
 
 
+def _replication_seeds(base_seed: int, start: int, stop: int) -> list[int]:
+    """Seeds for replications ``start..stop-1`` under ``base_seed``.
+
+    Derived via :func:`repro.parallel.derive_seed` (SeedSequence
+    spawning), so replication r of one experiment can never alias
+    replication r' of another experiment with a nearby base seed — the
+    collision hazard raw ``base_seed + r`` arithmetic had.
+    """
+    return [derive_seed(base_seed, r) for r in range(start, stop)]
+
+
 def replicate(
     experiment: Callable[[int], float],
     replications: int,
     *,
     base_seed: int = 0,
     confidence: float = 0.95,
+    workers: int | None = None,
 ) -> ReplicationSummary:
     """Run ``experiment(seed)`` for R distinct seeds and aggregate.
 
@@ -90,18 +104,31 @@ def replicate(
     ----------
     experiment:
         Callable mapping a seed to a scalar statistic (e.g. a run's mean
-        latency).
+        latency).  Must be picklable (a module-level function) for
+        ``workers > 1``; lambdas/closures fall back to serial with a
+        warning.
     replications:
         Number of independent runs (≥ 2 for a usable CI).
     base_seed:
-        Seeds are ``base_seed, base_seed+1, …`` — distinct by
-        construction.
+        Root of the seed derivation; replication ``r`` runs with the
+        SeedSequence-derived child seed at path ``(r,)`` — independent
+        across replications *and* across experiments.
+    workers:
+        Process count for the fan-out (``None`` = ``$REPRO_WORKERS`` or
+        1).  Seeds depend only on the replication index, so the summary
+        is bit-identical for every worker count.
     """
     if replications < 2:
         raise ValueError(f"replications must be >= 2, got {replications}")
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-    values = tuple(float(experiment(base_seed + r)) for r in range(replications))
+    results = run_tasks(
+        experiment,
+        [(s,) for s in _replication_seeds(base_seed, 0, replications)],
+        workers=workers,
+        label="replication",
+    )
+    values = tuple(float(v) for v in results)
     return ReplicationSummary(values=values, confidence=confidence)
 
 
@@ -113,12 +140,18 @@ def replications_for_precision(
     confidence: float = 0.95,
     initial: int = 5,
     max_replications: int = 100,
+    workers: int | None = None,
 ) -> ReplicationSummary:
     """Sequentially add replications until the CI is tight enough.
 
     The classic two-stage/sequential procedure: start with ``initial``
-    runs, then add one at a time while the relative half-width exceeds
-    the target.
+    runs, then add while the relative half-width exceeds the target.
+    With ``workers > 1`` new replications are computed in parallel
+    batches of ``workers``, but the stopping rule is still evaluated
+    value-by-value in replication order: the returned summary is
+    bit-identical to the sequential procedure for every worker count (at
+    the cost of up to ``workers - 1`` computed-but-discarded runs past
+    the stopping point).
 
     Raises
     ------
@@ -132,14 +165,33 @@ def replications_for_precision(
         )
     if not 2 <= initial <= max_replications:
         raise ValueError("need 2 <= initial <= max_replications")
-    values = [float(experiment(base_seed + r)) for r in range(initial)]
-    while True:
-        summary = ReplicationSummary(values=tuple(values), confidence=confidence)
-        if summary.relative_half_width <= target_relative_half_width:
-            return summary
+    batch = resolve_workers(workers)
+
+    def _batch(start: int, stop: int) -> list[float]:
+        seeds = _replication_seeds(base_seed, start, stop)
+        return [
+            float(v)
+            for v in run_tasks(
+                experiment, [(s,) for s in seeds], workers=workers, label="replication"
+            )
+        ]
+
+    values = _batch(0, initial)
+    summary = ReplicationSummary(values=tuple(values), confidence=confidence)
+    while summary.relative_half_width > target_relative_half_width:
         if len(values) >= max_replications:
             raise RuntimeError(
                 f"precision {target_relative_half_width} not reached after "
                 f"{max_replications} replications (at {summary.relative_half_width:.3g})"
             )
-        values.append(float(experiment(base_seed + len(values))))
+        extension = _batch(
+            len(values), min(len(values) + batch, max_replications)
+        )
+        # Replay the sequential stopping rule over the batch: stop at the
+        # first prefix that meets the target, discarding the rest.
+        for value in extension:
+            values.append(value)
+            summary = ReplicationSummary(values=tuple(values), confidence=confidence)
+            if summary.relative_half_width <= target_relative_half_width:
+                break
+    return summary

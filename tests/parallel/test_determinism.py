@@ -1,0 +1,105 @@
+"""Cross-validation: parallel execution is bit-identical to sequential.
+
+The substrate's core promise (ISSUE 4): because every run's RNG stream
+is derived from its task index — never from scheduling — fanning a
+sweep, a replication batch, or a paired edge/cloud comparison across
+processes must return *exactly* the values the sequential loop returns,
+for every worker count and chunk size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.comparator import EdgeCloudComparator
+from repro.core.scenarios import TYPICAL_CLOUD
+from repro.queueing.distributions import Exponential
+from repro.sim.network import ConstantLatency
+from repro.sim.runner import run_comparison
+from repro.stats.replications import replicate, replications_for_precision
+
+
+def noisy_experiment(seed):
+    return float(np.random.default_rng(seed).normal(10.0, 1.0))
+
+
+def very_noisy_experiment(seed):
+    return float(np.random.default_rng(seed).normal(0.1, 50.0))
+
+
+@pytest.fixture(scope="module")
+def comparator():
+    # Small but non-trivial: 5 sites x 2000 requests per point.
+    return EdgeCloudComparator(TYPICAL_CLOUD, requests_per_site=2_000, seed=123)
+
+
+RATES = (6.0, 8.0, 10.0)
+
+
+class TestSweepDeterminism:
+    def test_workers4_bit_identical_to_sequential(self, comparator):
+        seq = comparator.sweep(RATES, workers=1)
+        par = comparator.sweep(RATES, workers=4)
+        for p, q in zip(seq.points, par.points):
+            assert p.rate_per_site == q.rate_per_site
+            assert p.edge == q.edge  # LatencySummary equality is exact
+            assert p.cloud == q.cloud
+
+    def test_independent_of_worker_count_and_chunking(self, comparator):
+        baseline = comparator.sweep(RATES, workers=1).points
+        for workers in (2, 3):
+            par = comparator.sweep(RATES, workers=workers).points
+            assert [(p.edge, p.cloud) for p in par] == [
+                (p.edge, p.cloud) for p in baseline
+            ]
+
+    def test_point_independent_of_sweep_membership(self, comparator):
+        # A point's stream depends on (base seed, index) only, so the
+        # same (rate, index) measured alone equals its in-sweep value.
+        alone = comparator.measure_point(8.0, seed_offset=1)
+        swept = comparator.sweep(RATES, workers=2).points[1]
+        assert alone.edge == swept.edge and alone.cloud == swept.cloud
+
+
+class TestReplicationDeterminism:
+    def test_replicate_bit_identical(self):
+        a = replicate(noisy_experiment, 12, base_seed=7, workers=1)
+        b = replicate(noisy_experiment, 12, base_seed=7, workers=4)
+        assert a.values == b.values
+
+    def test_precision_rule_independent_of_workers(self):
+        kwargs = dict(initial=4, max_replications=60, base_seed=2)
+        a = replications_for_precision(noisy_experiment, 0.05, workers=1, **kwargs)
+        b = replications_for_precision(noisy_experiment, 0.05, workers=4, **kwargs)
+        # Same stopping point, same values — the parallel batches replay
+        # the sequential stopping rule value-by-value.
+        assert a.n == b.n
+        assert a.values == b.values
+
+    def test_precision_cap_error_matches(self):
+        for workers in (1, 3):
+            with pytest.raises(RuntimeError, match="not reached"):
+                replications_for_precision(
+                    very_noisy_experiment,
+                    0.01,
+                    initial=3,
+                    max_replications=6,
+                    workers=workers,
+                )
+
+
+class TestRunComparisonDeterminism:
+    def test_paired_runs_identical_across_workers(self):
+        kwargs = dict(
+            sites=3,
+            servers_per_site=1,
+            rate_per_site=6.0,
+            service_dist=Exponential(1.0 / 13.0),
+            edge_latency=ConstantLatency.from_ms(1.0),
+            cloud_latency=ConstantLatency.from_ms(24.0),
+            duration=60.0,
+            seed=5,
+        )
+        edge_seq, cloud_seq = run_comparison(workers=1, **kwargs)
+        edge_par, cloud_par = run_comparison(workers=2, **kwargs)
+        np.testing.assert_array_equal(edge_seq.end_to_end, edge_par.end_to_end)
+        np.testing.assert_array_equal(cloud_seq.end_to_end, cloud_par.end_to_end)

@@ -16,6 +16,8 @@ def noisy_experiment(seed):
 
 class TestReplicate:
     def test_runs_r_times_with_distinct_seeds(self):
+        from repro.parallel import derive_seed
+
         seen = []
 
         def exp(seed):
@@ -23,9 +25,22 @@ class TestReplicate:
             return float(seed)
 
         s = replicate(exp, 5, base_seed=100)
-        assert seen == [100, 101, 102, 103, 104]
+        # Seeds are SeedSequence-derived children of the base seed
+        # (collision-free across experiments), one per replication index.
+        assert seen == [derive_seed(100, r) for r in range(5)]
+        assert len(set(seen)) == 5
         assert s.n == 5
-        assert s.mean == pytest.approx(102.0)
+        assert s.mean == pytest.approx(np.mean(seen))
+
+    def test_seeds_disjoint_across_nearby_bases(self):
+        # The hazard the SeedSequence derivation removes: raw base+r
+        # arithmetic made replicate(base_seed=0) and replicate(base_seed=1)
+        # run mostly identical seed sets, silently correlating experiments.
+        a = []
+        b = []
+        replicate(lambda seed: a.append(seed) or 0.0, 10, base_seed=0)
+        replicate(lambda seed: b.append(seed) or 0.0, 10, base_seed=1)
+        assert not set(a) & set(b)
 
     def test_ci_covers_true_mean(self):
         s = replicate(noisy_experiment, 30, base_seed=0)
