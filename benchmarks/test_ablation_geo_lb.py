@@ -15,15 +15,15 @@ SKEWED_RATES = [11.5, 6.0, 6.0, 4.0, 3.0]
 
 
 def run_geo_lb_ablation():
-    common = dict(
-        sites=5,
-        servers_per_site=1,
-        rate_per_site=0.0,
-        site_rates=SKEWED_RATES,
-        service_dist=Exponential(1.0 / MU),
-        duration=2500.0,
-        seed=23,
-    )
+    common = {
+        "sites": 5,
+        "servers_per_site": 1,
+        "rate_per_site": 0.0,
+        "site_rates": SKEWED_RATES,
+        "service_dist": Exponential(1.0 / MU),
+        "duration": 2500.0,
+        "seed": 23,
+    }
     edge_lat = ConstantLatency.from_ms(1.0)
     cloud_lat = ConstantLatency.from_ms(25.0)
     glb = GeoLoadBalancer(occupancy_threshold=1.0, inter_site_oneway=0.003)

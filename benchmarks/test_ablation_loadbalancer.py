@@ -14,15 +14,15 @@ MU = 13.0
 
 
 def run_policies():
-    common = dict(
-        sites=5,
-        servers_per_site=1,
-        rate_per_site=10.0,
-        service_dist=Exponential(1.0 / MU),
-        latency=ConstantLatency.from_ms(25.0),
-        duration=2000.0,
-        seed=17,
-    )
+    common = {
+        "sites": 5,
+        "servers_per_site": 1,
+        "rate_per_site": 10.0,
+        "service_dist": Exponential(1.0 / MU),
+        "latency": ConstantLatency.from_ms(25.0),
+        "duration": 2000.0,
+        "seed": 17,
+    }
     out = {"central": run_deployment("cloud", **common).wait.mean()}
     for name, policy in (
         ("jsq", JoinShortestQueue()),

@@ -42,7 +42,7 @@ def sweep(edge_net, cloud_net, seed, metric):
         arrs = [np.cumsum(rng.exponential(1.0 / rate, N)) for _ in range(K)]
         srvs = [np.asarray(SERVICE.sample(rng, N)) for _ in range(K)]
         edge = simulate_edge_system(arrs, srvs, LANES, edge_net, rng)
-        merged = RequestTrace.merge([RequestTrace(a, s) for a, s in zip(arrs, srvs)])
+        merged = RequestTrace.merge([RequestTrace(a, s) for a, s in zip(arrs, srvs, strict=True)])
         cloud = simulate_single_queue_system(
             merged.arrival_times, merged.service_times, K * LANES, cloud_net, rng
         )
@@ -94,6 +94,6 @@ def test_ablation_network_jitter(run_once):
         assert res[name]["mean"] is not None
         assert abs(res[name]["mean"] - base) < 1.0
     # Tail crossover never later than the mean crossover, jitter or not.
-    for name, x in res.items():
+    for _name, x in res.items():
         if x["p95"] is not None and x["mean"] is not None:
             assert x["p95"] <= x["mean"] + 0.3

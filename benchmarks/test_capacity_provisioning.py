@@ -29,7 +29,7 @@ def test_capacity_provisioning(run_once):
     print(f"{'lambda':>8} {'k':>4} {'C_cloud':>10} {'C_edge':>10} {'penalty':>8}")
     for (lam, k), (c, e, p) in sorted(table.items()):
         print(f"{lam:>8.0f} {k:>4} {c:>10.1f} {e:>10.1f} {p:>8.3f}")
-    for (lam, k), (c, e, p) in table.items():
+    for (_lam, _k), (c, e, p) in table.items():
         assert e > c and p > 1.0
     # Penalty grows with k at fixed lambda...
     assert table[(100.0, 100)][2] > table[(100.0, 2)][2]

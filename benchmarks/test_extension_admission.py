@@ -6,6 +6,8 @@ rejections — the controlled alternative to the paper's observed
 "dropping or thrashing" at saturation.
 """
 
+from itertools import count
+
 import numpy as np
 
 from repro.mitigation.admission import AdmissionControlledStation, OccupancyAdmission
@@ -31,10 +33,11 @@ def _run(limit):
     )
     rng = sim.spawn_rng()
 
-    def gen(counter=[0]):
+    ids = count()
+
+    def gen():
         if sim.now < DURATION:
-            target.arrive(Request(counter[0], created=sim.now))
-            counter[0] += 1
+            target.arrive(Request(next(ids), created=sim.now))
             sim.schedule(rng.exponential(1.0 / OVERLOAD), gen)
 
     sim.schedule(0.0, gen)

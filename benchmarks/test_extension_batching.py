@@ -8,6 +8,8 @@ gains a second pooling advantage beyond the queueing one: at identical
 per-site load the cloud runs bigger batches with shorter fill waits.
 """
 
+from itertools import count
+
 import numpy as np
 
 from repro.sim.batching import BatchingStation, affine_batch_time
@@ -31,10 +33,11 @@ def _run_station(rate, servers, seed):
     )
     rng = sim.spawn_rng()
 
-    def gen(i=[0]):
+    ids = count()
+
+    def gen():
         if sim.now < DURATION:
-            st.arrive(Request(i[0], created=sim.now))
-            i[0] += 1
+            st.arrive(Request(next(ids), created=sim.now))
             sim.schedule(rng.exponential(1.0 / rate), gen)
 
     sim.schedule(0.0, gen)
@@ -65,7 +68,7 @@ def test_extension_batching(run_once):
             f"{rate:>11.0f} {r['edge_e2e'] * 1e3:>9.1f} {r['cloud_e2e'] * 1e3:>10.1f} "
             f"{r['edge_batch']:>7.1f} {r['cloud_batch']:>8.1f}"
         )
-    for rate, r in res.items():
+    for _rate, r in res.items():
         # The cloud always assembles bigger batches.
         assert r["cloud_batch"] > r["edge_batch"]
     # At moderate per-site load the batching effect already inverts the

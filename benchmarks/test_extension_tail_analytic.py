@@ -41,7 +41,7 @@ def test_extension_tail_analytic(run_once, cfg):
     for rtt, (pred, meas) in res.items():
         m = "none" if meas is None else f"{meas:.2f}"
         print(f"{rtt:>8.0f} {pred:>9.2f} {m:>10}")
-    for rtt, (pred, meas) in res.items():
+    for _rtt, (pred, meas) in res.items():
         assert meas is not None
         # Analytic tail cutoff tracks the simulated one. (The analytic
         # model is exact for M/M/c; our service is Erlang, so allow a

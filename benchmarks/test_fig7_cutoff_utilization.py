@@ -18,6 +18,6 @@ def test_fig7_cutoff_utilization(run_once, cfg):
     assert all(np.diff(measured) > -0.05)
     assert measured[-1] - measured[0] > 0.1
     # Tail cutoffs sit at or below mean cutoffs.
-    for m, t in zip(res.mean_cutoff, res.tail_cutoff):
+    for m, t in zip(res.mean_cutoff, res.tail_cutoff, strict=True):
         if m is not None and t is not None:
             assert t <= m + 0.03

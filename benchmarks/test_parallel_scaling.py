@@ -56,7 +56,7 @@ def scaling_run():
     seconds_parallel = t2 - t1
     identical = all(
         p.edge == q.edge and p.cloud == q.cloud
-        for p, q in zip(sequential.points, parallel.points)
+        for p, q in zip(sequential.points, parallel.points, strict=True)
     )
     payload = {
         "benchmark": "figure-7 utilization grid, typical cloud (24 ms)",
@@ -83,7 +83,7 @@ def test_parallel_sweep_zero_drift(scaling_run):
     """Bit-identical results for 4 workers vs sequential — on any machine."""
     payload, sequential, parallel = scaling_run
     assert payload["bit_identical"]
-    for p, q in zip(sequential.points, parallel.points):
+    for p, q in zip(sequential.points, parallel.points, strict=True):
         assert p.edge == q.edge
         assert p.cloud == q.cloud
         assert p.utilization == q.utilization

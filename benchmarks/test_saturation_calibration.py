@@ -7,6 +7,8 @@ and (with a bounded queue) drops begin exactly at the configured
 saturation rate.
 """
 
+from itertools import count
+
 import numpy as np
 
 from repro.queueing.distributions import Exponential
@@ -31,10 +33,11 @@ def _one_rate(rate, seed):
     )
     rng = sim.spawn_rng()
 
-    def gen(i=[0]):
+    ids = count()
+
+    def gen():
         if sim.now < DURATION:
-            st.arrive(Request(i[0], created=sim.now))
-            i[0] += 1
+            st.arrive(Request(next(ids), created=sim.now))
             sim.schedule(rng.exponential(1.0 / rate), gen)
 
     sim.schedule(0.0, gen)

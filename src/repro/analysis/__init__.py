@@ -1,0 +1,54 @@
+"""repro.analysis — project-specific static analysis + runtime invariants.
+
+The reproduction's headline claims (bit-identical parallel≡sequential
+determinism, the seconds-only ``n + w + s`` decomposition, the
+``observables()`` and refusal-taxonomy protocols) rest on conventions no
+generic linter knows about.  This subsystem enforces them twice over:
+
+* **statically** — ``python -m repro.analysis src tests`` runs the
+  :mod:`repro.analysis.rules` pack (codes ``RPR001``…) over the tree
+  via the small engine in :mod:`repro.analysis.engine`; CI fails on any
+  finding.  Suppress a deliberate exception with
+  ``# repro: noqa[RPRnnn]  -- reason`` (stale suppressions are
+  themselves findings, code ``RPR000``).
+* **dynamically** — :mod:`repro.analysis.invariants` checks virtual-time
+  monotonicity, per-station request conservation and non-negative
+  occupancy while a simulation runs.  Opt in with ``REPRO_CHECK=1`` (or
+  ``--check-invariants`` on any CLI experiment); off, the simulator's
+  hot paths are untouched.
+
+Rule catalog, rationale and how to add a rule: ``docs/static_analysis.md``.
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    registered_rules,
+    render_json,
+    render_text,
+    rule,
+)
+from repro.analysis.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    checks_enabled,
+)
+from repro.analysis.rules import DETERMINISM_PACKAGES, SIM_PACKAGES
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "rule",
+    "registered_rules",
+    "analyze_file",
+    "analyze_paths",
+    "render_text",
+    "render_json",
+    "InvariantChecker",
+    "InvariantViolation",
+    "checks_enabled",
+    "DETERMINISM_PACKAGES",
+    "SIM_PACKAGES",
+]

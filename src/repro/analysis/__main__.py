@@ -1,0 +1,64 @@
+"""CLI for the static-analysis pass.
+
+Usage::
+
+    python -m repro.analysis src tests                 # human output
+    python -m repro.analysis src tests --format json   # CI / tooling
+    python -m repro.analysis --list-rules              # rule catalog
+
+Exit status: 0 when clean, 1 when any finding survives suppressions,
+2 on usage errors — so ``python -m repro.analysis src tests`` is the
+whole CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.engine import (
+    analyze_paths,
+    registered_rules,
+    render_json,
+    render_text,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="Project-specific static analysis (determinism, units, protocols).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze (e.g. src tests)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in registered_rules():
+            print(f"{cls.code}  {cls.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis src tests)")
+
+    try:
+        findings, files_checked = analyze_paths(args.paths)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Runtime invariant checker: the dynamic half of ``repro.analysis``.
+
+The static rules catch what is visible in source; this module checks the
+properties only a running simulation can witness:
+
+* **virtual-time monotonicity** — the clock never rewinds, and no event
+  handler moves it (the runtime analogue of rule RPR008);
+* **request conservation** — per station, at every event boundary,
+  ``arrivals == completions + rejected + dropped + shed + in_system +
+  cancelled_waiting`` (a lost completion or double-counted refusal is a
+  bookkeeping bug that skews every throughput and goodput figure);
+* **non-negative occupancy** — busy servers, queue length and the
+  busy/queue time-integrals can never go negative.
+
+Checks are **opt-in** and zero-cost when off: :class:`~repro.sim.engine.
+Simulation` consults :func:`checker_for_new_simulation` once at
+construction (``REPRO_CHECK=1`` in the environment, which the CLI's
+``--check-invariants`` flag sets), and every hook site guards on the
+resulting attribute being ``None`` — the disabled hot paths are
+byte-for-byte the pre-existing ones.  The checker never draws
+randomness and never schedules events, so results are bit-identical
+with checks on or off; violations raise :class:`InvariantViolation`
+rather than accumulate, because a run that broke conservation has
+nothing trustworthy left to report.
+
+Checkpoints: simulation end (every ``run()`` return — conservation
+holds at any event boundary, not only at drain) and, when telemetry is
+installed, every window flush of the
+:class:`~repro.obs.windows.WindowedCollector`.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "ENV_FLAG",
+    "InvariantViolation",
+    "InvariantChecker",
+    "checks_enabled",
+    "checker_for_new_simulation",
+]
+
+#: Environment variable enabling runtime invariant checks ("1"/"true"…).
+ENV_FLAG = "REPRO_CHECK"
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant of the simulation substrate was broken.
+
+    Derives from :class:`AssertionError`: a violation is a defect in the
+    simulator or a component, never a recoverable runtime condition.
+    """
+
+
+def checks_enabled() -> bool:
+    """True when ``REPRO_CHECK`` requests runtime invariant checking."""
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in ("", "0", "false", "no")
+
+
+def checker_for_new_simulation() -> InvariantChecker | None:
+    """The checker a new :class:`~repro.sim.engine.Simulation` should carry.
+
+    ``None`` when checking is off — the value of the one-per-run
+    environment read every hook site then guards on.
+    """
+    return InvariantChecker() if checks_enabled() else None
+
+
+class InvariantChecker:
+    """Per-simulation invariant state and checkpoints.
+
+    One instance per :class:`~repro.sim.engine.Simulation`; stations
+    register themselves at construction (mirroring telemetry
+    registration), and the engine / windowed collector call
+    :meth:`check_event_time`, :meth:`check_handler_left_clock` and
+    :meth:`check_stations` at their checkpoints.
+
+    Attributes
+    ----------
+    checks:
+        Number of station checkpoints performed (test observability).
+    """
+
+    __slots__ = ("_stations", "checks")
+
+    def __init__(self) -> None:
+        self._stations: list = []
+        self.checks = 0
+
+    def register_station(self, station) -> None:
+        """Track ``station`` for conservation/occupancy checkpoints."""
+        self._stations.append(station)
+
+    # -- engine hooks ----------------------------------------------------
+    def check_event_time(self, event_time: float, now: float) -> None:
+        """The next event must not lie in the clock's past."""
+        if event_time < now:
+            raise InvariantViolation(
+                f"virtual time would rewind: event at t={event_time} behind "
+                f"clock t={now} (calendar corruption or a handler moved the "
+                "clock)"
+            )
+
+    def check_handler_left_clock(self, expected_now: float, now: float) -> None:
+        """An event handler must not move ``Simulation.now`` itself."""
+        if now != expected_now:
+            raise InvariantViolation(
+                f"an event handler moved the clock from t={expected_now} to "
+                f"t={now}: virtual time may only advance through the event "
+                "calendar (rule RPR008)"
+            )
+
+    # -- station checkpoints ---------------------------------------------
+    def check_stations(self, where: str = "run end") -> None:
+        """Conservation + occupancy for every registered station."""
+        self.checks += 1
+        for station in self._stations:
+            self._check_station(station, where)
+
+    def _check_station(self, st, where: str) -> None:
+        busy = st.busy
+        queued = st.queue_length
+        if busy < 0 or queued < 0:
+            raise InvariantViolation(
+                f"[{where}] station {st.name!r} occupancy went negative: "
+                f"busy={busy}, queue={queued}"
+            )
+        if st.busy_time() < 0 or st.queue_time() < 0:
+            raise InvariantViolation(
+                f"[{where}] station {st.name!r} has a negative time-integral: "
+                f"busy_time={st.busy_time()}, queue_time={st.queue_time()}"
+            )
+        accounted = (
+            st.completions + st.rejected + st.drops + st.shed
+            + busy + queued + st.cancelled_waiting
+        )
+        if st.arrivals != accounted:
+            raise InvariantViolation(
+                f"[{where}] station {st.name!r} violates request "
+                f"conservation: arrivals={st.arrivals} but completions="
+                f"{st.completions} + rejected={st.rejected} + dropped="
+                f"{st.drops} + shed={st.shed} + in_system={busy + queued} + "
+                f"cancelled_waiting={st.cancelled_waiting} = {accounted}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InvariantChecker(stations={len(self._stations)}, checks={self.checks})"

@@ -1,0 +1,508 @@
+"""The project-specific rule pack (``RPR001`` … ``RPR008``).
+
+Each rule encodes one invariant the reproduction's results rest on but
+no generic linter knows about — determinism of the simulation substrate,
+the seconds-only unit convention, and the small protocols
+(``observables()``, ``run_tasks`` picklability) that PRs 2–4
+introduced.  Rationale and worked examples for every rule live in
+``docs/static_analysis.md``; suppress a deliberate exception with
+``# repro: noqa[RPRnnn]  -- reason`` on the flagged line.
+
+Scoping: determinism rules apply to the packages whose code runs inside
+a seeded simulation (``repro.sim``, ``repro.parallel``,
+``repro.queueing``); protocol and unit rules apply everywhere the pass
+is pointed (``src`` and ``tests`` in CI).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, rule
+
+__all__ = ["DETERMINISM_PACKAGES", "SIM_PACKAGES"]
+
+#: Packages whose code executes inside a seeded simulation: any hidden
+#: entropy here silently invalidates every figure.
+DETERMINISM_PACKAGES = ("repro.sim", "repro.parallel", "repro.queueing")
+
+#: The simulator's event hot paths (rule RPR007/RPR008 scope).
+SIM_PACKAGES = ("repro.sim",)
+
+#: Suffixes that mark a name as seconds-valued by project convention
+#: (DESIGN.md §6: all times in SI seconds; ``*_ms`` names are the only
+#: sanctioned millisecond carriers and must be converted at the edge).
+_SECONDS_SUFFIXES = ("latency", "rtt", "deadline")
+
+#: Magnitude above which a literal assigned to a seconds field is almost
+#: certainly a millisecond value (no simulated latency is 1000+ s).
+_MS_MAGNITUDE = 1e3
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """``foo`` for ``foo``, ``bar`` for ``a.b.bar``; None otherwise."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """``a`` for ``a.b.c`` / ``a``; None for non-name chains."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Full dotted path of a Name/Attribute chain, or None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@rule
+class WallClockRule(Rule):
+    """RPR001: no wall-clock or global-RNG entropy in simulation code.
+
+    ``time.time()``, ``datetime.now()``, the ``random`` module's global
+    generator and numpy's legacy ``np.random.*`` functions all read
+    process state outside the simulation's seeded streams; a single call
+    inside :mod:`repro.sim` / :mod:`repro.parallel` /
+    :mod:`repro.queueing` breaks bit-identical replay.  Unseeded
+    ``np.random.default_rng()`` is flagged everywhere — fresh OS entropy
+    is only legitimate through ``seed_sequence(None)``, which documents
+    the irreproducibility at the call site.
+    """
+
+    code = "RPR001"
+    summary = "wall-clock or global-RNG call in deterministic simulation code"
+
+    _WALL_CLOCK = {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+    }
+    _DATETIME = {"datetime.now", "datetime.utcnow", "datetime.today", "date.today"}
+    _NP_RANDOM_OK = {
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        scoped = ctx.in_package(*DETERMINISM_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and scoped and node.module == "random":
+                yield self.finding(
+                    ctx, node,
+                    "import from the global `random` module; use a seeded "
+                    "numpy Generator (Simulation.spawn_rng or repro.parallel.seeding)",
+                )
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if scoped and dotted in self._WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call {dotted}() in simulation code; virtual "
+                    "time comes from Simulation.now",
+                )
+            elif scoped and dotted in self._DATETIME:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock call {dotted}() in simulation code breaks "
+                    "reproducibility",
+                )
+            elif scoped and _root_name(node.func) == "random" and "." not in dotted[7:]:
+                # random.<anything>(...) — the stdlib global generator.
+                yield self.finding(
+                    ctx, node,
+                    f"global-RNG call {dotted}(); all randomness must flow "
+                    "through a seeded numpy Generator",
+                )
+            elif scoped and dotted.startswith(("np.random.", "numpy.random.")):
+                leaf = dotted.rsplit(".", 1)[1]
+                if leaf not in self._NP_RANDOM_OK:
+                    yield self.finding(
+                        ctx, node,
+                        f"legacy global numpy RNG call {dotted}(); use a "
+                        "seeded Generator stream",
+                    )
+            if (
+                _terminal_name(node.func) == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "unseeded default_rng() draws OS entropy; derive the "
+                    "stream via repro.parallel.seeding (or pass an explicit "
+                    "seed_sequence(None) to document irreproducibility)",
+                )
+
+
+@rule
+class SeedArithmeticRule(Rule):
+    """RPR002: derive child seeds via ``repro.parallel.seeding``, never
+    integer arithmetic.
+
+    ``base + i`` / ``base + 1000 * i`` seed spacing collides across
+    experiments that believe they are independent (see the
+    ``repro.parallel.seeding`` module docstring for the failure mode PR 4
+    fixed in the comparator).  Every derivation must go through
+    ``derive_seed`` / ``derive_seedseq`` / ``spawn_child``, which hash a
+    spawn key instead of offsetting entropy.
+    """
+
+    code = "RPR002"
+    summary = "integer arithmetic on a seed (use repro.parallel.seeding)"
+
+    _ARITH = (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod, ast.BitXor, ast.LShift)
+
+    def _mentions_seed(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            name = _terminal_name(sub)
+            if name is not None and "seed" in name.lower():
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module.startswith("repro.parallel.seeding"):
+            return  # the derivation module itself hashes entropy legitimately
+        inner: set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, self._ARITH)):
+                continue
+            if node in inner:
+                continue  # already covered by an enclosing flagged expression
+            if self._mentions_seed(node.left) or self._mentions_seed(node.right):
+                inner.update(
+                    sub for sub in ast.walk(node) if isinstance(sub, ast.BinOp)
+                )
+                yield self.finding(
+                    ctx, node,
+                    "integer arithmetic on a seed; derive child streams with "
+                    "repro.parallel.seeding.derive_seed(base, *path) instead",
+                )
+
+
+@rule
+class MillisecondSmellRule(Rule):
+    """RPR003: suspected millisecond value flowing into a seconds field.
+
+    The whole codebase is seconds-only (DESIGN.md §6); millisecond
+    quantities live exclusively in ``*_ms``-suffixed names and are
+    converted once at the boundary (``Scenario.delta_n``,
+    ``ConstantLatency.from_ms``).  Two smells are flagged: a numeric
+    literal ≥ 1e3 assigned to a ``*_latency`` / ``*_rtt`` /
+    ``*_deadline`` name (no simulated latency is 1000+ seconds), and a
+    ``*_ms`` name assigned to a seconds-suffixed name without visible
+    conversion.
+    """
+
+    code = "RPR003"
+    summary = "suspected millisecond value assigned to a seconds-only field"
+
+    def _seconds_named(self, name: str | None) -> bool:
+        if name is None or name.endswith("_ms"):
+            return False
+        return any(
+            name == suffix or name.endswith("_" + suffix) for suffix in _SECONDS_SUFFIXES
+        )
+
+    def _suspect(self, value: ast.AST) -> str | None:
+        """Reason the value looks millisecond-flavoured, or None."""
+        if isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+            if not isinstance(value.value, bool) and abs(value.value) >= _MS_MAGNITUDE:
+                return f"literal {value.value!r} >= 1e3"
+        name = _terminal_name(value)
+        if name is not None and name.endswith("_ms"):
+            return f"millisecond-named value {name!r}"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            pairs: list[tuple[str | None, ast.AST, ast.AST]] = []
+            if isinstance(node, ast.Assign):
+                pairs = [(_terminal_name(t), node.value, t) for t in node.targets]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                pairs = [(_terminal_name(node.target), node.value, node.target)]
+            elif isinstance(node, ast.Call):
+                pairs = [
+                    (kw.arg, kw.value, kw.value) for kw in node.keywords if kw.arg
+                ]
+            for name, value, anchor in pairs:
+                if not self._seconds_named(name):
+                    continue
+                reason = self._suspect(value)
+                if reason is not None:
+                    yield self.finding(
+                        ctx, anchor,
+                        f"{reason} assigned to seconds-only field {name!r}; "
+                        "convert at the boundary (x_ms / 1000.0) — the "
+                        "codebase is seconds-only (DESIGN.md §6)",
+                    )
+
+
+@rule
+class ObservablesProtocolRule(Rule):
+    """RPR004: ``observables()`` must return ``{str: callable}``.
+
+    The telemetry registry (``Telemetry.register_observables``) turns
+    each entry into a pull-model gauge named ``<prefix>.<key>``, so keys
+    must be string literals and values zero-argument callables.  A
+    non-dict return or a non-callable value would surface only at
+    snapshot time, deep inside an experiment run.
+    """
+
+    code = "RPR004"
+    summary = "observables() must be a method returning {str: callable}"
+
+    _CALLABLE_NODES = (ast.Lambda, ast.Name, ast.Attribute, ast.Call)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.Assign, ast.AnnAssign))
+                    and any(
+                        _terminal_name(t) == "observables"
+                        for t in (
+                            item.targets
+                            if isinstance(item, ast.Assign)
+                            else [item.target]
+                        )
+                    )
+                ):
+                    yield self.finding(
+                        ctx, item,
+                        f"class {node.name}: observables must be a method, "
+                        "not an attribute (the registry calls it)",
+                    )
+                if not isinstance(item, ast.FunctionDef) or item.name != "observables":
+                    continue
+                args = item.args
+                required = len(args.args) - len(args.defaults)
+                if required != 1 or args.posonlyargs or args.kwonlyargs:
+                    yield self.finding(
+                        ctx, item,
+                        f"class {node.name}: observables() is called with no "
+                        "arguments by the telemetry registry; it must take "
+                        "only self",
+                    )
+                yield from self._check_returns(ctx, node.name, item)
+
+    def _check_returns(
+        self, ctx: FileContext, cls: str, fn: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Dict):
+                for key, val in zip(value.keys, value.values, strict=True):
+                    if key is None or not (
+                        isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    ):
+                        yield self.finding(
+                            ctx, key or value,
+                            f"class {cls}: observables() keys must be string "
+                            "literals (they become gauge names)",
+                        )
+                    if isinstance(val, ast.Constant):
+                        yield self.finding(
+                            ctx, val,
+                            f"class {cls}: observables() values must be "
+                            "zero-argument callables, not constants — wrap "
+                            "in a lambda",
+                        )
+            elif isinstance(value, (ast.Constant, ast.List, ast.Tuple, ast.Set)):
+                yield self.finding(
+                    ctx, value,
+                    f"class {cls}: observables() must return a dict of "
+                    "gauge readers, got a non-dict expression",
+                )
+
+
+@rule
+class RunTasksPicklableRule(Rule):
+    """RPR005: callables handed to ``run_tasks`` must be module-level.
+
+    Lambdas and nested functions don't pickle, so
+    :func:`repro.parallel.run_tasks` silently falls back to serial
+    execution (with a warning) — the parallel sweep the caller asked for
+    never happens.  Catch it at lint time instead.
+    """
+
+    code = "RPR005"
+    summary = "non-picklable callable passed to run_tasks (lambda/nested def)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        nested_defs = self._nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _terminal_name(node.func) != "run_tasks" or not node.args:
+                continue
+            fn_arg = node.args[0]
+            if isinstance(fn_arg, ast.Lambda):
+                yield self.finding(
+                    ctx, fn_arg,
+                    "lambda passed to run_tasks cannot pickle; parallel "
+                    "fan-out silently degrades to serial — use a "
+                    "module-level function",
+                )
+            elif isinstance(fn_arg, ast.Name) and fn_arg.id in nested_defs:
+                yield self.finding(
+                    ctx, fn_arg,
+                    f"nested function {fn_arg.id!r} passed to run_tasks "
+                    "cannot pickle; hoist it to module level",
+                )
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> set[str]:
+        """Names of functions defined inside another function."""
+        nested: set[str] = set()
+
+        def walk(node: ast.AST, inside_function: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if inside_function:
+                        nested.add(child.name)
+                    walk(child, True)
+                elif isinstance(child, ast.ClassDef):
+                    walk(child, False)  # methods are module-reachable
+                else:
+                    walk(child, inside_function)
+
+        walk(tree, False)
+        return nested
+
+
+@rule
+class MutableDefaultRule(Rule):
+    """RPR006: no mutable default arguments in :mod:`repro`.
+
+    The classic shared-state trap, but worse here: a mutable default on
+    a simulation component is shared across *runs*, so the second
+    replication of an experiment starts from the first one's state and
+    determinism quietly dies.
+    """
+
+    code = "RPR006"
+    summary = "mutable default argument"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque", "bytearray"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                        ast.DictComp, ast.SetComp)):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default in {node.name}(); default to None "
+                        "and create the container in the body",
+                    )
+                elif (
+                    isinstance(default, ast.Call)
+                    and _terminal_name(default.func) in self._MUTABLE_CALLS
+                ):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default {_terminal_name(default.func)}() in "
+                        f"{node.name}(); default to None and create the "
+                        "container in the body",
+                    )
+
+
+@rule
+class SetIterationRule(Rule):
+    """RPR007: no iteration over sets in simulator hot paths.
+
+    Set iteration order depends on insertion history and string hash
+    randomization (``PYTHONHASHSEED``), so a loop over a set inside
+    :mod:`repro.sim` can reorder event scheduling between processes —
+    the exact cross-process nondeterminism the parallel substrate
+    promises away.  Iterate lists/tuples, or wrap in ``sorted(...)``.
+    """
+
+    code = "RPR007"
+    summary = "iteration over a set in a simulation hot path (order is unstable)"
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and _terminal_name(node.func) in ("set", "frozenset")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SIM_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        ctx, it,
+                        "iterating a set in simulation code: order varies "
+                        "with hashing; use a list/tuple or sorted(...)",
+                    )
+
+
+@rule
+class VirtualTimeMutationRule(Rule):
+    """RPR008: only the engine advances ``Simulation.now``.
+
+    An event handler that writes ``sim.now`` directly desynchronizes the
+    clock from the event calendar — later events appear to run in the
+    past and every time-integral (utilization, queue length) silently
+    corrupts.  Schedule a callback instead; the runtime invariant
+    checker (``REPRO_CHECK=1``) enforces the same contract dynamically.
+    """
+
+    code = "RPR008"
+    summary = "direct assignment to Simulation.now outside the engine"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == "repro.sim.engine":
+            return  # the engine's dispatch loop is the one legitimate writer
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "now":
+                    yield self.finding(
+                        ctx, target,
+                        "direct write to .now: virtual time may only advance "
+                        "through the event calendar (Simulation.schedule)",
+                    )

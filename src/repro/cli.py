@@ -21,11 +21,18 @@ independent simulation runs inside the experiment fan out across N
 processes via :mod:`repro.parallel`, with results bit-identical to the
 sequential run.  ``--telemetry`` and ``--workers > 1`` are mutually
 exclusive — see ``docs/performance.md``.
+
+``--check-invariants`` (or ``REPRO_CHECK=1`` in the environment) turns
+on the runtime invariant checker (:mod:`repro.analysis.invariants`):
+virtual-time monotonicity, request conservation and non-negative
+occupancy are asserted during the run.  Checks are for debugging and
+CI — results are unchanged, only failures become loud.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from itertools import count
@@ -182,6 +189,13 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         "(default $REPRO_WORKERS or 1; results are bit-identical "
         "for any N, and incompatible with --telemetry for N > 1)",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="enable runtime invariant checks (virtual-time monotonicity, "
+        "request conservation, non-negative occupancy); equivalent to "
+        "setting REPRO_CHECK=1",
+    )
 
 
 def _sized_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -258,6 +272,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if getattr(args, "check_invariants", False):
+        # Simulations read the flag at construction time, and worker
+        # processes inherit the environment — one env var covers both the
+        # in-process and fanned-out paths.
+        os.environ["REPRO_CHECK"] = "1"
     session = None
     if getattr(args, "telemetry", None):
         # Telemetry is process-local (spans recorded in pool workers could

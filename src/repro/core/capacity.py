@@ -16,7 +16,7 @@ Implements the provider- and application-side provisioning math:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.inversion import delta_n_threshold_mm
 

@@ -173,7 +173,7 @@ class EdgeCloudComparator:
             arrivals, services, s.edge_servers_per_site, s.edge_latency(), rng
         )
         merged = RequestTrace.merge(
-            [RequestTrace(a, sv) for a, sv in zip(arrivals, services)]
+            [RequestTrace(a, sv) for a, sv in zip(arrivals, services, strict=True)]
         )
         cloud = simulate_single_queue_system(
             merged.arrival_times, merged.service_times, s.cloud_servers, s.cloud_latency(), rng

@@ -34,7 +34,7 @@ Allen–Cunneen) mean waits in seconds throughout.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from scipy.optimize import brentq
 

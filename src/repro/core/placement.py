@@ -17,7 +17,7 @@ this advisor answers the coarser per-region question.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.cost import CostModel
 from repro.queueing.mmk import MMk

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.comparator import ComparisonResult, EdgeCloudComparator
 from repro.core.scenarios import DISTANT_CLOUD, PAPER_SCENARIOS, Scenario, TYPICAL_CLOUD
 from repro.experiments.config import FAST, ExperimentConfig
+from repro.parallel.seeding import derive_seed
 from repro.sim.fastsim import SystemResult, simulate_edge_system, simulate_single_queue_system
 from repro.stats.summary import LatencySummary, summarize
 from repro.stats.timeseries import windowed_mean
@@ -107,7 +108,7 @@ def _sweep_figure(
     ).sweep(PAPER_RATE_SWEEP, workers=config.workers)
     two = scenario.with_machines(2)
     k10 = EdgeCloudComparator(
-        two, requests_per_site=config.requests_per_site, seed=config.seed + 1
+        two, requests_per_site=config.requests_per_site, seed=derive_seed(config.seed, 1)
     ).sweep([2.0 * r for r in PAPER_RATE_SWEEP], workers=config.workers)
     return SweepFigure(scenario=scenario, metric=metric, k5=k5, k10=k10)
 
@@ -187,7 +188,7 @@ def fig7_cutoff_utilizations(config: ExperimentConfig = FAST) -> Fig7Result:
     grid = np.arange(0.15, 0.97, 0.0665)  # ~13 sweep points
     for i, scenario in enumerate(PAPER_SCENARIOS):
         cmp_ = EdgeCloudComparator(
-            scenario, requests_per_site=config.requests_per_site, seed=config.seed + i
+            scenario, requests_per_site=config.requests_per_site, seed=derive_seed(config.seed, i)
         )
         rates = [scenario.rate_for_utilization(float(u)) for u in grid]
         result = cmp_.sweep(rates, workers=config.workers)

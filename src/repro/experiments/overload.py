@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
+from repro.parallel.seeding import derive_seed
 from repro.mitigation.admission import (
     AdaptiveAdmission,
     AIMDConcurrencyLimit,
@@ -162,15 +163,15 @@ def discipline_sweep(
     no-queue baseline.
     """
     plans = [
-        ("fifo", dict()),
-        ("fifo-cap", dict(queue_capacity=64)),
-        ("adaptive-lifo", dict(discipline=AdaptiveLIFODiscipline(pressure_threshold=8))),
-        ("codel", dict(discipline=CoDelDiscipline(target=0.3))),
+        ("fifo", {}),
+        ("fifo-cap", {"queue_capacity": 64}),
+        ("adaptive-lifo", {"discipline": AdaptiveLIFODiscipline(pressure_threshold=8)}),
+        ("codel", {"discipline": CoDelDiscipline(target=0.3)}),
     ]
     cutoff = duration * 0.25
     rows = []
     for i, (label, kw) in enumerate(plans):
-        sim = Simulation(cfg.seed + 10 * i)
+        sim = Simulation(derive_seed(cfg.seed, i))
         site, edge = _one_site(sim, **kw)
         OpenLoopSource(sim, edge, Exponential(1.0 / rate), site="s0", stop_time=duration)
         sim.run(until=duration)
@@ -263,7 +264,7 @@ def admission_pulse(
 
     rows = []
     for i, (label, admission) in enumerate(make_plans()):
-        sim = Simulation(cfg.seed + 10 * i)
+        sim = Simulation(derive_seed(cfg.seed, i))
         site, edge = _one_site(sim, admission=admission)
         OpenLoopSource(
             sim, edge, Exponential(1.0 / base_rate), site="s0", stop_time=duration
@@ -373,7 +374,7 @@ def priority_shedding(
 
     results = {}
     for i, (label, share_map) in enumerate([("uniform", None), ("priority", shares)]):
-        sim = Simulation(cfg.seed + 10 * i)
+        sim = Simulation(derive_seed(cfg.seed, i))
         admission = AdaptiveAdmission(
             AIMDConcurrencyLimit(latency_target=1.0, min_limit=8.0, max_limit=64.0),
             priority_shares=share_map,
@@ -451,7 +452,7 @@ def brownout_tradeoff(
     cutoff = duration * 0.25
     rows = []
     for i, (label, brownout) in enumerate(plans):
-        sim = Simulation(cfg.seed + 10 * i)
+        sim = Simulation(derive_seed(cfg.seed, i))
         site, edge = _one_site(sim, queue_capacity=queue_capacity, brownout=brownout)
         OpenLoopSource(sim, edge, Exponential(1.0 / rate), site="s0", stop_time=duration)
         sim.run(until=duration)
@@ -508,12 +509,12 @@ def _defended_edge(sim: Simulation, protected: bool):
     for i in range(STORM_SITES):
         kw = {}
         if protected:
-            kw = dict(
-                discipline=CoDelDiscipline(target=0.5),
-                admission=AdaptiveAdmission(
+            kw = {
+                "discipline": CoDelDiscipline(target=0.5),
+                "admission": AdaptiveAdmission(
                     AIMDConcurrencyLimit(latency_target=1.0, max_limit=64.0)
                 ),
-            )
+            }
         sites.append(
             EdgeSite(
                 sim, f"s{i}", model.cores,
@@ -545,7 +546,7 @@ def storm_defense(
     cutoff = duration * 0.2
     for i, rate in enumerate(rates):
         for protected in (False, True):
-            sim = Simulation(cfg.seed + 100 * i + (7 if protected else 0))
+            sim = Simulation(derive_seed(cfg.seed, i, int(protected)))
             sites, edge = _defended_edge(sim, protected)
             client = ResilientClient(
                 sim,

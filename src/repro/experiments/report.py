@@ -122,7 +122,8 @@ def render_fig7(result: Fig7Result) -> str:
         f"{'RTT(ms)':>8} {'mean cutoff':>12} {'tail cutoff':>12} {'predicted':>10}",
     ]
     for rtt, m, t, p in zip(
-        result.rtts_ms, result.mean_cutoff, result.tail_cutoff, result.predicted_cutoff
+        result.rtts_ms, result.mean_cutoff, result.tail_cutoff, result.predicted_cutoff,
+        strict=True,
     ):
         lines.append(f"{rtt:>8.0f} {_fmt_rho(m):>12} {_fmt_rho(t):>12} {p:>10.2f}")
     return "\n".join(lines)
@@ -161,7 +162,7 @@ def render_fig10(result: Fig10Result) -> str:
         f"{'site':>6} {'rate':>7} {'rho':>5} {'p25':>8} {'p50':>8} {'p75':>8} {'p95':>8} (ms)",
     ]
     for i, (s, r, u) in enumerate(
-        zip(result.site_summaries, result.site_rates, result.site_utilizations)
+        zip(result.site_summaries, result.site_rates, result.site_utilizations, strict=True)
     ):
         m = s.as_ms()
         lines.append(

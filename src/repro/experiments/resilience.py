@@ -28,12 +28,13 @@ operation-level metrics (goodput, SLO attainment, amplification) via
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.parallel import run_tasks
+from repro.parallel.seeding import derive_seed
 from repro.queueing.distributions import Exponential
 from repro.sim import (
     BreakerConfig,
@@ -209,12 +210,11 @@ def retry_storm(
     # bit-identical to the sequential loop.
     tasks = []
     for i, rate in enumerate(rates):
-        base = cfg.seed + 1000 * i
         tasks += [
-            (base + 1, rate, duration, slo_deadline, False, True),
-            (base + 2, rate, duration, slo_deadline, False, False),
-            (base + 3, rate, duration, slo_deadline, True, True),
-            (base + 4, rate, duration, slo_deadline, True, False),
+            (derive_seed(cfg.seed, i, 1), rate, duration, slo_deadline, False, True),
+            (derive_seed(cfg.seed, i, 2), rate, duration, slo_deadline, False, False),
+            (derive_seed(cfg.seed, i, 3), rate, duration, slo_deadline, True, True),
+            (derive_seed(cfg.seed, i, 4), rate, duration, slo_deadline, True, False),
         ]
     cells = run_tasks(_storm_cell, tasks, workers=cfg.workers, label="storm cell")
     points = []
@@ -299,12 +299,12 @@ def outage_recovery(
     the loss.
     """
     model = _model()
-    retry_kw = dict(
-        timeout=1.5,
-        slo_deadline=slo_deadline,
-        retry=RetryPolicy(max_attempts=3, backoff_base=0.05, backoff_cap=0.5),
-        cancel_on_timeout=True,
-    )
+    retry_kw = {
+        "timeout": 1.5,
+        "slo_deadline": slo_deadline,
+        "retry": RetryPolicy(max_attempts=3, backoff_base=0.05, backoff_cap=0.5),
+        "cancel_on_timeout": True,
+    }
     full_kw = dict(
         retry_kw,
         breaker=BreakerConfig(
@@ -320,7 +320,7 @@ def outage_recovery(
     ]
     rows = []
     for i, (label, inject, client_kw, failover) in enumerate(plans):
-        sim = Simulation(cfg.seed + 100 * i)
+        sim = Simulation(derive_seed(cfg.seed, i))
         link_outage = (duration * 0.25, duration * 0.25 + 60.0) if inject else None
         sites, edge, cloud = _build_topology(sim, link_outage=link_outage)
         if client_kw is None:

@@ -29,7 +29,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.experiments import figures as F
 from repro.experiments import report as R

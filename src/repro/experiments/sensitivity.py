@@ -17,7 +17,7 @@ and can sweep densely.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.inversion import cutoff_utilization_exact
 from repro.core.scenarios import Scenario

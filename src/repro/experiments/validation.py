@@ -23,6 +23,7 @@ from repro.core.comparator import EdgeCloudComparator
 from repro.core.inversion import calibrate_time_unit, cutoff_utilization_paper
 from repro.core.scenarios import TYPICAL_CLOUD
 from repro.experiments.config import FAST, ExperimentConfig
+from repro.parallel.seeding import derive_seed
 
 __all__ = ["ValidationRow", "validation_table", "PAPER_ANCHORS"]
 
@@ -57,7 +58,7 @@ def validation_table(config: ExperimentConfig = FAST) -> list[ValidationRow]:
     for i, (k, machines, paper_pred, paper_meas) in enumerate(PAPER_ANCHORS):
         scenario = TYPICAL_CLOUD if machines == 1 else TYPICAL_CLOUD.with_machines(machines)
         cmp_ = EdgeCloudComparator(
-            scenario, requests_per_site=config.requests_per_site, seed=config.seed + i
+            scenario, requests_per_site=config.requests_per_site, seed=derive_seed(config.seed, i)
         )
         _, measured = cmp_.find_crossover(
             "mean", utilizations=np.arange(0.35, 0.95, 0.05)

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.sim.engine import Simulation
 from repro.sim.request import Request
@@ -384,6 +384,11 @@ class AdmissionControlledStation:
             self.station.arrive(request)
         else:
             self.rejected += 1
+            # Mirror the built-in ``Station(..., admission=...)`` path: a
+            # door rejection is still an arrival, so the station's request
+            # conservation (arrivals = completions + refusals + in-flight)
+            # holds either way.
+            self.station.arrivals += 1
             self.station.rejected += 1
             if self.on_reject is not None:
                 self.on_reject(request)

@@ -12,7 +12,7 @@ scaling [36].
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.engine import Simulation
 from repro.sim.station import Station

@@ -13,7 +13,7 @@ uses between sites.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.queueing.distributions import Distribution
 from repro.sim.engine import Simulation

@@ -13,7 +13,7 @@ elastic-scaling literature the paper cites [36]:
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.engine import Simulation
 from repro.sim.station import Station

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.capacity import min_edge_servers, proportional_allocation
 
@@ -40,7 +40,7 @@ class SkewAwarePlan:
         """Per-site utilization under the plan."""
         return tuple(
             r / (s * self.mu) if s > 0 else 0.0
-            for r, s in zip(self.site_rates, self.servers)
+            for r, s in zip(self.site_rates, self.servers, strict=True)
         )
 
     @property
@@ -51,7 +51,9 @@ class SkewAwarePlan:
     def is_stable(self) -> bool:
         """True when every loaded site has capacity above its load."""
         return all(
-            s * self.mu > r for r, s in zip(self.site_rates, self.servers) if r > 0
+            s * self.mu > r
+            for r, s in zip(self.site_rates, self.servers, strict=True)
+            if r > 0
         )
 
 

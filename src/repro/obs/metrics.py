@@ -22,7 +22,7 @@ the documented names live in ``docs/observability.md``.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from repro.obs.quantile import QuantileSketch
 

@@ -27,12 +27,12 @@ explicitly single-process feature — see ``docs/performance.md``.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 __all__ = ["install", "uninstall", "current_telemetry", "installed", "is_installed"]
 
 #: factory returning a fresh Telemetry (or None) per Simulation.
-_factory: Optional[Callable[[], object]] = None
+_factory: Callable[[], object] | None = None
 
 
 def install(factory: Callable[[], object]) -> None:

@@ -152,6 +152,11 @@ class WindowedCollector:
     # -- window boundary -------------------------------------------------
     def _tick(self) -> None:
         self.flush()
+        if self.sim.invariants is not None:
+            # Window boundaries are quiescent points (no half-applied
+            # station transitions), so request conservation must hold at
+            # each one, not just at run end.
+            self.sim.invariants.check_stations("telemetry window")
         if self.sim.pending_events > 0:
             self.sim.schedule(self.dt, self._tick)
         else:

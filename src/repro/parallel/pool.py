@@ -35,7 +35,7 @@ import pickle
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 __all__ = ["ParallelTaskError", "resolve_workers", "run_tasks"]
 

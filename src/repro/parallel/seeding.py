@@ -40,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "SeedLike",
     "seed_sequence",
     "derive_seedseq",
     "derive_seed",
@@ -48,7 +49,12 @@ __all__ = [
 ]
 
 
-def seed_sequence(seed) -> np.random.SeedSequence:
+#: Anything accepted as a base seed: an int, an existing SeedSequence,
+#: or None for fresh OS entropy.
+SeedLike = int | np.random.SeedSequence | None
+
+
+def seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     """Normalize a base seed to a :class:`~numpy.random.SeedSequence`.
 
     ``None`` draws fresh OS entropy (a deliberately irreproducible run);
@@ -63,7 +69,7 @@ def seed_sequence(seed) -> np.random.SeedSequence:
     return np.random.SeedSequence(seed)
 
 
-def derive_seedseq(base_seed, *path: int) -> np.random.SeedSequence:
+def derive_seedseq(base_seed: SeedLike, *path: int) -> np.random.SeedSequence:
     """Child ``SeedSequence`` at integer ``path`` under ``base_seed``.
 
     The path is the child's coordinates in the experiment's fan-out tree
@@ -82,7 +88,7 @@ def derive_seedseq(base_seed, *path: int) -> np.random.SeedSequence:
     return np.random.SeedSequence(entropy=base.entropy, spawn_key=tuple(key))
 
 
-def derive_seed(base_seed, *path: int) -> int:
+def derive_seed(base_seed: SeedLike, *path: int) -> int:
     """Child seed at ``path`` collapsed to one non-negative 64-bit int.
 
     For APIs whose contract is an integer seed (``experiment(seed)`` in
@@ -93,7 +99,7 @@ def derive_seed(base_seed, *path: int) -> int:
     return int(derive_seedseq(base_seed, *path).generate_state(1, np.uint64)[0])
 
 
-def derive_rng(base_seed, *path: int) -> np.random.Generator:
+def derive_rng(base_seed: SeedLike, *path: int) -> np.random.Generator:
     """Ready-made :class:`~numpy.random.Generator` for the child at ``path``."""
     return np.random.default_rng(derive_seedseq(base_seed, *path))
 

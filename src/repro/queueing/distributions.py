@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -61,7 +61,9 @@ class Distribution(ABC):
         return math.sqrt(self.variance)
 
     @abstractmethod
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         """Draw samples.
 
         Parameters
@@ -89,7 +91,7 @@ class Distribution(ABC):
 class Deterministic(Distribution):
     """Point mass at ``value`` (:math:`c^2 = 0`)."""
 
-    def __init__(self, value: float):
+    def __init__(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"value must be >= 0, got {value}")
         self.value = float(value)
@@ -102,7 +104,9 @@ class Deterministic(Distribution):
     def variance(self) -> float:
         return 0.0
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         if size is None:
             return self.value
         return np.full(size, self.value)
@@ -114,7 +118,7 @@ class Deterministic(Distribution):
 class Exponential(Distribution):
     """Exponential distribution with the given ``mean`` (:math:`c^2 = 1`)."""
 
-    def __init__(self, mean: float):
+    def __init__(self, mean: float) -> None:
         if mean <= 0:
             raise ValueError(f"mean must be > 0, got {mean}")
         self._mean = float(mean)
@@ -139,7 +143,9 @@ class Exponential(Distribution):
     def variance(self) -> float:
         return self._mean**2
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         return rng.exponential(self._mean, size)
 
     def scaled(self, factor: float) -> "Exponential":
@@ -154,7 +160,7 @@ class Erlang(Distribution):
     low-variability compute such as DNN inference.
     """
 
-    def __init__(self, shape: int, mean: float):
+    def __init__(self, shape: int, mean: float) -> None:
         if shape < 1:
             raise ValueError(f"shape must be >= 1, got {shape}")
         if mean <= 0:
@@ -170,7 +176,9 @@ class Erlang(Distribution):
     def variance(self) -> float:
         return self._mean**2 / self.shape
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         scale = self._mean / self.shape
         return rng.gamma(self.shape, scale, size)
 
@@ -185,7 +193,7 @@ class HyperExponential(Distribution):
     model bursty arrivals and heavy-ish tailed service.
     """
 
-    def __init__(self, probs: Sequence[float], means: Sequence[float]):
+    def __init__(self, probs: Sequence[float], means: Sequence[float]) -> None:
         p = np.asarray(probs, dtype=float)
         m = np.asarray(means, dtype=float)
         if p.ndim != 1 or p.shape != m.shape or p.size == 0:
@@ -221,7 +229,9 @@ class HyperExponential(Distribution):
         second_moment = float(np.dot(self.probs, 2.0 * self.means**2))
         return second_moment - self.mean**2
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         n = 1 if size is None else int(size)
         phases = rng.choice(self.means.size, size=n, p=self.probs)
         out = rng.exponential(self.means[phases])
@@ -240,7 +250,7 @@ class LogNormal(Distribution):
     serverless dataset, which are well described by log-normals.
     """
 
-    def __init__(self, mean: float, cv2: float):
+    def __init__(self, mean: float, cv2: float) -> None:
         if mean <= 0:
             raise ValueError(f"mean must be > 0, got {mean}")
         if cv2 <= 0:
@@ -258,7 +268,9 @@ class LogNormal(Distribution):
     def variance(self) -> float:
         return self._cv2 * self._mean**2
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         return rng.lognormal(self.mu, math.sqrt(self.sigma2), size)
 
     def scaled(self, factor: float) -> "LogNormal":
@@ -272,7 +284,7 @@ class Pareto(Distribution):
     moments exist (required by the two-moment analysis).
     """
 
-    def __init__(self, alpha: float, mean: float):
+    def __init__(self, alpha: float, mean: float) -> None:
         if alpha <= 2.0:
             raise ValueError(f"alpha must be > 2 for finite variance, got {alpha}")
         if mean <= 0:
@@ -291,7 +303,9 @@ class Pareto(Distribution):
         a, s = self.alpha, self.scale
         return s**2 * a / ((a - 1.0) ** 2 * (a - 2.0))
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         # Lomax = Pareto II with location 0: scale * (U^{-1/alpha} - 1)
         u = rng.random(size)
         return self.scale * (u ** (-1.0 / self.alpha) - 1.0)
@@ -303,7 +317,7 @@ class Pareto(Distribution):
 class Uniform(Distribution):
     """Uniform distribution on ``[low, high]``."""
 
-    def __init__(self, low: float, high: float):
+    def __init__(self, low: float, high: float) -> None:
         if not 0 <= low < high:
             raise ValueError(f"need 0 <= low < high, got [{low}, {high}]")
         self.low = float(low)
@@ -317,14 +331,16 @@ class Uniform(Distribution):
     def variance(self) -> float:
         return (self.high - self.low) ** 2 / 12.0
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         return rng.uniform(self.low, self.high, size)
 
 
 class Empirical(Distribution):
     """Resampling distribution over observed values (e.g. trace samples)."""
 
-    def __init__(self, values: Sequence[float]):
+    def __init__(self, values: Sequence[float]) -> None:
         v = np.asarray(values, dtype=float)
         if v.ndim != 1 or v.size == 0:
             raise ValueError("values must be a non-empty 1-D sequence")
@@ -340,7 +356,9 @@ class Empirical(Distribution):
     def variance(self) -> float:
         return float(self.values.var())
 
-    def sample(self, rng: np.random.Generator, size: int | None = None):
+    def sample(
+        self, rng: np.random.Generator, size: int | None = None
+    ) -> float | np.ndarray:
         n = 1 if size is None else int(size)
         out = rng.choice(self.values, size=n, replace=True)
         if size is None:

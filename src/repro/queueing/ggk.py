@@ -106,7 +106,7 @@ class GG1:
 
     servers = 1
 
-    def __init__(self, arrival_rate: float, service_rate: float, ca2: float, cs2: float):
+    def __init__(self, arrival_rate: float, service_rate: float, ca2: float, cs2: float) -> None:
         self._rho = ensure_stable(arrival_rate, service_rate, 1)
         _validate_cv2(ca2, cs2)
         self.arrival_rate = float(arrival_rate)
@@ -144,7 +144,7 @@ class GGk:
         cs2: float,
         *,
         prob_wait: str = "bolch",
-    ):
+    ) -> None:
         self._rho = ensure_stable(arrival_rate, service_rate, servers)
         _validate_cv2(ca2, cs2)
         self.arrival_rate = float(arrival_rate)

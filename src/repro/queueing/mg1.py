@@ -35,7 +35,7 @@ class MG1:
 
     servers = 1
 
-    def __init__(self, arrival_rate: float, service: Distribution):
+    def __init__(self, arrival_rate: float, service: Distribution) -> None:
         if service.mean <= 0:
             raise ValueError("service distribution must have positive mean")
         self._rho = ensure_stable(arrival_rate, 1.0 / service.mean, 1)

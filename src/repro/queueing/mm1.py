@@ -34,7 +34,7 @@ class MM1:
 
     servers = 1
 
-    def __init__(self, arrival_rate: float, service_rate: float):
+    def __init__(self, arrival_rate: float, service_rate: float) -> None:
         self._rho = ensure_stable(arrival_rate, service_rate, 1)
         self.arrival_rate = float(arrival_rate)
         self.service_rate = float(service_rate)
@@ -68,7 +68,7 @@ class MM1:
         """:math:`E[L] = \\rho/(1-\\rho)`."""
         return self._rho / (1.0 - self._rho)
 
-    def response_time_cdf(self, t):
+    def response_time_cdf(self, t: float | np.ndarray) -> np.ndarray:
         """CDF of the response time: :math:`1 - e^{-(\\mu-\\lambda)t}` for t ≥ 0."""
         t = np.asarray(t, dtype=float)
         out = 1.0 - np.exp(-(self.service_rate - self.arrival_rate) * np.maximum(t, 0.0))
@@ -80,7 +80,7 @@ class MM1:
             raise ValueError(f"q must be in (0, 1), got {q}")
         return -math.log(1.0 - q) / (self.service_rate - self.arrival_rate)
 
-    def waiting_time_cdf(self, t):
+    def waiting_time_cdf(self, t: float | np.ndarray) -> np.ndarray:
         """CDF of the queueing delay: :math:`1 - \\rho e^{-(\\mu-\\lambda)t}` for t ≥ 0.
 
         Has an atom of size :math:`1 - \\rho` at zero.

@@ -38,7 +38,7 @@ class MMcK:
         System capacity ``K`` ≥ ``c``.
     """
 
-    def __init__(self, arrival_rate: float, service_rate: float, servers: int, capacity: int):
+    def __init__(self, arrival_rate: float, service_rate: float, servers: int, capacity: int) -> None:
         if arrival_rate < 0 or service_rate <= 0:
             raise ValueError("need arrival_rate >= 0 and service_rate > 0")
         if servers < 1:

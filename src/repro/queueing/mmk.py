@@ -75,7 +75,7 @@ class MMk:
         If :math:`\\lambda \\ge k\\mu`.
     """
 
-    def __init__(self, arrival_rate: float, service_rate: float, servers: int):
+    def __init__(self, arrival_rate: float, service_rate: float, servers: int) -> None:
         self._rho = ensure_stable(arrival_rate, service_rate, servers)
         self.arrival_rate = float(arrival_rate)
         self.service_rate = float(service_rate)
@@ -127,7 +127,7 @@ class MMk:
         """:math:`E[L] = \\lambda E[T]` (Little's law)."""
         return self.arrival_rate * self.mean_response()
 
-    def waiting_time_cdf(self, t):
+    def waiting_time_cdf(self, t: float | np.ndarray) -> np.ndarray:
         """CDF of the queueing delay, :math:`1 - C e^{-(k\\mu-\\lambda)t}` for t ≥ 0."""
         t = np.asarray(t, dtype=float)
         out = 1.0 - self._prob_wait * np.exp(-self._drain_rate * np.maximum(t, 0.0))
@@ -141,7 +141,7 @@ class MMk:
             return 0.0
         return -math.log((1.0 - q) / self._prob_wait) / self._drain_rate
 
-    def response_time_cdf(self, t):
+    def response_time_cdf(self, t: float | np.ndarray) -> np.ndarray:
         """Exact CDF of the response time :math:`T = W_q + S`.
 
         With :math:`\\theta = k\\mu - \\lambda` and Erlang-C probability

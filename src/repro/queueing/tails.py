@@ -52,7 +52,7 @@ def _delay_parameters(
 
 
 def gg_wait_tail(
-    t,
+    t: float | np.ndarray,
     arrival_rate: float,
     service_rate: float,
     servers: int,
@@ -60,7 +60,7 @@ def gg_wait_tail(
     cs2: float = 1.0,
     *,
     prob_wait: str = "erlang",
-):
+) -> np.ndarray:
     """Approximate :math:`P(W_q > t)` for a GI/G/k queue.
 
     Exact for M/M/k (``ca2 = cs2 = 1`` with ``prob_wait='erlang'``);

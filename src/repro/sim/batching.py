@@ -17,7 +17,7 @@ request has aged ``batch_timeout`` seconds, whichever comes first.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from collections.abc import Callable
 
 from repro.sim.engine import Simulation
 from repro.sim.request import Request

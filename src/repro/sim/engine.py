@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
+from repro.analysis.invariants import checker_for_new_simulation
 from repro.obs.provider import current_telemetry
 from repro.parallel.seeding import seed_sequence, spawn_child
 
@@ -59,6 +61,10 @@ class Simulation:
         self.telemetry = telemetry if telemetry is not None else current_telemetry()
         if self.telemetry is not None:
             self.telemetry.bind(self)
+        # Runtime invariant checking (repro.analysis.invariants): None
+        # unless REPRO_CHECK is set, and every hook site guards on that —
+        # the disabled hot paths are exactly the pre-checker ones.
+        self.invariants = checker_for_new_simulation()
         self._calendar: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
         self._seq = count()
         self._running = False
@@ -119,19 +125,40 @@ class Simulation:
         # them mid-loop.
         calendar = self._calendar
         pop = heapq.heappop
+        invariants = self.invariants
         try:
-            while calendar and not self._stopped:
-                head = calendar[0]
-                time = head[0]
-                if until is not None and time > until:
-                    self.now = until
-                    break
-                pop(calendar)
-                self.now = time
-                head[2](*head[3])
+            if invariants is None:
+                while calendar and not self._stopped:
+                    head = calendar[0]
+                    time = head[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        break
+                    pop(calendar)
+                    self.now = time
+                    head[2](*head[3])
+                else:
+                    if until is not None and not self._stopped:
+                        self.now = max(self.now, until)
             else:
-                if until is not None and not self._stopped:
-                    self.now = max(self.now, until)
+                # Checked dispatch loop (REPRO_CHECK=1): same semantics,
+                # plus per-event monotonicity and a clock-ownership check
+                # after each handler.  Kept as a separate loop so the
+                # common disabled path above pays nothing.
+                while calendar and not self._stopped:
+                    head = calendar[0]
+                    time = head[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        break
+                    pop(calendar)
+                    invariants.check_event_time(time, self.now)
+                    self.now = time
+                    head[2](*head[3])
+                    invariants.check_handler_left_clock(time, self.now)
+                else:
+                    if until is not None and not self._stopped:
+                        self.now = max(self.now, until)
         finally:
             self._running = False
         if self.telemetry is not None and not self._calendar:
@@ -139,6 +166,10 @@ class Simulation:
             # so the run is over — flush the partial window and emit the
             # run summary (idempotent).
             self.telemetry.finish()
+        if invariants is not None:
+            # Conservation holds at every event boundary, so each run()
+            # return (drained or `until`-paused) is a valid checkpoint.
+            invariants.check_stations("run end" if not self._calendar else "run pause")
         return self.now
 
     def stop(self) -> None:

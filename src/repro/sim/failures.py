@@ -12,7 +12,7 @@ mechanism that fixes skew also routes around failures (extension E9).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.sim.engine import Simulation
 from repro.sim.station import Station

@@ -219,7 +219,7 @@ def simulate_edge_system(
         raise ValueError("need equal, non-empty per-site arrival/service lists")
     rng = np.random.default_rng(0) if rng is None else rng
     parts = []
-    for idx, (a, s) in enumerate(zip(site_arrivals, site_services)):
+    for idx, (a, s) in enumerate(zip(site_arrivals, site_services, strict=True)):
         res = simulate_single_queue_system(a, s, servers_per_site, latency, rng)
         res.site[:] = idx
         parts.append(res)

@@ -19,7 +19,7 @@ heterogeneous comparison runnable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -135,7 +135,7 @@ def simulate_geo_comparison(
 
     # Per-region workloads (Poisson arrivals, shared service law).
     arrivals, services = [], []
-    for i, region in enumerate(regions):
+    for i, _region in enumerate(regions):
         rate = total_rate * weights[i]
         n = int(per_region_n[i])
         arrivals.append(np.cumsum(rng.exponential(1.0 / rate, n)))

@@ -26,7 +26,7 @@ The central-queue ideal is expressed in the topology layer as a single
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -39,7 +39,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.sim.request import Request
 

@@ -10,6 +10,7 @@ latency breakdown.
 from __future__ import annotations
 
 from repro.parallel import run_tasks
+from repro.parallel.seeding import derive_seed
 from repro.queueing.distributions import Distribution, Exponential
 from repro.sim.client import OpenLoopSource
 from repro.sim.engine import Simulation
@@ -163,18 +164,18 @@ def run_comparison(
     edge_kwargs.pop("policy", None)
     edge_kwargs.pop("backends", None)
     cloud_kwargs.pop("router", None)
-    shared = dict(
-        sites=sites,
-        servers_per_site=servers_per_site,
-        rate_per_site=rate_per_site,
-        service_dist=service_dist,
-        duration=duration,
-    )
+    shared = {
+        "sites": sites,
+        "servers_per_site": servers_per_site,
+        "rate_per_site": rate_per_site,
+        "service_dist": service_dist,
+        "duration": duration,
+    }
     edge, cloud = run_tasks(
         _run_deployment_task,
         [
             ("edge", {**shared, "latency": edge_latency, "seed": seed, **edge_kwargs}),
-            ("cloud", {**shared, "latency": cloud_latency, "seed": seed + 1, **cloud_kwargs}),
+            ("cloud", {**shared, "latency": cloud_latency, "seed": derive_seed(seed, 1), **cloud_kwargs}),
         ],
         workers=workers,
         label="deployment run",

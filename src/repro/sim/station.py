@@ -23,7 +23,7 @@ supports run-time capacity changes (used by the autoscaling mitigation).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -118,6 +118,11 @@ class Station:
         self.shed = 0
         self.degraded = 0
         self.cancellations = 0
+        # Of the cancellations, those removed from the waiting line after
+        # being counted as arrivals (on-wire cancels never arrive) — the
+        # term that closes the request-conservation identity checked by
+        # repro.analysis.invariants.
+        self.cancelled_waiting = 0
         self._servers = int(servers)
         self._busy = 0
         self._failed = False
@@ -142,6 +147,8 @@ class Station:
         # paths above pay nothing whether telemetry is on or off.
         if sim.telemetry is not None:
             sim.telemetry.register_station(self)
+        if sim.invariants is not None:
+            sim.invariants.register_station(self)
 
     # -- state inspection ------------------------------------------------
     @property
@@ -237,6 +244,7 @@ class Station:
             return False
         self._account()
         self.cancellations += 1
+        self.cancelled_waiting += 1
         return True
 
     def set_servers(self, servers: int) -> None:

@@ -16,7 +16,8 @@ pipeline; the deployment, not the station, owns the network legs.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 from repro.queueing.distributions import Distribution
 from repro.sim.engine import Simulation

@@ -22,7 +22,7 @@ offered load") are statements about these numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -134,7 +134,7 @@ def summarize_overload(
             degraded += st.degraded
     elif offered == 0 and served == 0 and not refusals:
         raise ValueError("provide stations or offered/served counters")
-    for key, value in dict(offered=offered, served=served, degraded=degraded).items():
+    for key, value in {"offered": offered, "served": served, "degraded": degraded}.items():
         if value < 0:
             raise ValueError(f"{key} must be >= 0, got {value}")
     latency = None

@@ -23,7 +23,7 @@ three parallel ``sum(...)`` expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 __all__ = ["RefusalCounts"]
 

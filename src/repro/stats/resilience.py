@@ -117,11 +117,12 @@ def summarize_resilience(
     """
     if duration <= 0:
         raise ValueError(f"duration must be > 0, got {duration}")
-    counts = dict(
-        successes=successes, failures=failures, slo_hits=slo_hits, attempts=attempts,
-        retries=retries, hedges=hedges, failovers=failovers, timeouts=timeouts,
-        drops=drops, sheds=sheds, rejects=rejects, breaker_opens=breaker_opens,
-    )
+    counts = {
+        "successes": successes, "failures": failures, "slo_hits": slo_hits,
+        "attempts": attempts, "retries": retries, "hedges": hedges,
+        "failovers": failovers, "timeouts": timeouts, "drops": drops,
+        "sheds": sheds, "rejects": rejects, "breaker_opens": breaker_opens,
+    }
     for key, value in counts.items():
         if value < 0:
             raise ValueError(f"{key} must be >= 0, got {value}")

@@ -29,7 +29,7 @@ def save_trace_csv(trace: RequestTrace, path: str | Path) -> None:
         writer = csv.writer(fh)
         if trace.service_times is not None:
             writer.writerow(["arrival_time", "service_time"])
-            writer.writerows(zip(trace.arrival_times, trace.service_times))
+            writer.writerows(zip(trace.arrival_times, trace.service_times, strict=True))
         else:
             writer.writerow(["arrival_time"])
             writer.writerows((t,) for t in trace.arrival_times)

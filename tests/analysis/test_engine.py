@@ -1,0 +1,155 @@
+"""Engine behavior: suppressions, report formats, CLI exit codes."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import (
+    Finding,
+    analyze_file,
+    analyze_paths,
+    registered_rules,
+    render_json,
+    render_text,
+)
+
+
+def write(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+BAD_SIM = """\
+    import time
+
+    def handler():
+        return time.time()
+    """
+
+
+class TestSuppressions:
+    def test_noqa_suppresses_matching_code(self, tmp_path):
+        path = write(tmp_path, "repro/sim/mod.py", """\
+            import time
+
+            def handler():
+                return time.time()  # repro: noqa[RPR001] -- intentional for this test
+            """)
+        assert analyze_file(path) == []
+
+    def test_noqa_wrong_code_does_not_suppress(self, tmp_path):
+        path = write(tmp_path, "repro/sim/mod.py", """\
+            import time
+
+            def handler():
+                return time.time()  # repro: noqa[RPR002] -- wrong code
+            """)
+        found = analyze_file(path)
+        # The RPR001 finding survives AND the stale RPR002 noqa is reported.
+        assert sorted(f.code for f in found) == ["RPR000", "RPR001"]
+
+    def test_unused_suppression_reported(self, tmp_path):
+        path = write(tmp_path, "repro/sim/mod.py", """\
+            x = 1  # repro: noqa[RPR001]
+            """)
+        found = analyze_file(path)
+        assert [f.code for f in found] == ["RPR000"]
+        assert "unused suppression" in found[0].message
+
+    def test_multiple_codes_in_one_comment(self, tmp_path):
+        path = write(tmp_path, "repro/sim/mod.py", """\
+            import time
+
+            def handler(log=[]):  # repro: noqa[RPR006]
+                return time.time()  # repro: noqa[RPR001, RPR007] -- RPR007 unused
+            """)
+        found = analyze_file(path)
+        assert [f.code for f in found] == ["RPR000"]
+        assert "RPR007" in found[0].message
+
+    def test_noqa_inside_string_literal_ignored(self, tmp_path):
+        path = write(tmp_path, "repro/sim/mod.py", '''\
+            DOC = "# repro: noqa[RPR001]"
+            ''')
+        # A string literal is not a comment: no suppression registered,
+        # so no RPR000 either.
+        assert analyze_file(path) == []
+
+
+class TestReports:
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "repro/sim/broken.py", "def broken(:\n")
+        found = analyze_file(path)
+        assert [f.code for f in found] == ["RPR999"]
+
+    def test_findings_sorted_and_stable(self, tmp_path):
+        write(tmp_path, "repro/sim/b.py", BAD_SIM)
+        write(tmp_path, "repro/sim/a.py", BAD_SIM)
+        findings, n_files = analyze_paths([tmp_path])
+        assert n_files == 2
+        assert [f.path for f in findings] == sorted(f.path for f in findings)
+
+    def test_json_schema(self, tmp_path):
+        write(tmp_path, "repro/sim/bad.py", BAD_SIM)
+        findings, n_files = analyze_paths([tmp_path])
+        doc = json.loads(render_json(findings, n_files))
+        assert doc["version"] == 1
+        assert doc["files_checked"] == 1
+        assert doc["counts"] == {"RPR001": 1}
+        assert set(doc["findings"][0]) == {"path", "line", "col", "code", "message"}
+        # The rule catalog rides along so CI output is self-describing.
+        assert set(doc["rules"]) == {cls.code for cls in registered_rules()}
+
+    def test_text_report_clean_and_dirty(self):
+        assert "clean" in render_text([], 3)
+        f = Finding(path="x.py", line=1, col=0, code="RPR001", message="m")
+        text = render_text([f], 1)
+        assert "x.py:1:0: RPR001 m" in text
+        assert "1 finding(s)" in text
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True,
+        )
+
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        write(tmp_path, "repro/sim/good.py", "x = 1\n")
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_exit_one_on_findings(self, tmp_path):
+        write(tmp_path, "repro/sim/bad.py", BAD_SIM)
+        proc = self.run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert "RPR001" in proc.stdout
+
+    def test_json_format(self, tmp_path):
+        write(tmp_path, "repro/sim/bad.py", BAD_SIM)
+        proc = self.run_cli(str(tmp_path), "--format", "json")
+        doc = json.loads(proc.stdout)
+        assert doc["counts"] == {"RPR001": 1}
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for cls in registered_rules():
+            assert cls.code in proc.stdout
+
+    def test_usage_error_on_missing_paths(self):
+        proc = self.run_cli()
+        assert proc.returncode == 2
+
+
+@pytest.mark.parametrize("rule_cls", registered_rules())
+def test_every_rule_has_code_and_summary(rule_cls):
+    assert rule_cls.code.startswith("RPR")
+    assert rule_cls.summary

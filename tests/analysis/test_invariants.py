@@ -1,0 +1,174 @@
+"""Runtime invariant checker: env gating, engine wiring, violation capture.
+
+The acceptance case from the issue lives here: a deliberately broken
+request-conservation identity (a swallowed completion) must be caught
+under ``REPRO_CHECK=1``, and results must be bit-identical with checks
+on or off.
+"""
+
+from itertools import count
+
+import pytest
+
+from repro.analysis.invariants import (
+    ENV_FLAG,
+    InvariantChecker,
+    InvariantViolation,
+    checker_for_new_simulation,
+    checks_enabled,
+)
+from repro.obs import Telemetry
+from repro.queueing.distributions import Deterministic
+from repro.sim.engine import Simulation
+from repro.sim.request import Request
+from repro.sim.station import Station
+
+DURATION = 20.0
+
+
+def drive(sim, station, rate=2.0):
+    """Poisson arrivals into ``station`` until DURATION (virtual)."""
+    rng = sim.spawn_rng()
+    ids = count()
+
+    def gen():
+        if sim.now < DURATION:
+            station.arrive(Request(next(ids), created=sim.now))
+            sim.schedule(rng.exponential(1.0 / rate), gen)
+
+    sim.schedule(0.0, gen)
+
+
+class TestEnvGating:
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "False", "NO"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert not checks_enabled()
+        assert checker_for_new_simulation() is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_on_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_FLAG, value)
+        assert checks_enabled()
+        assert isinstance(checker_for_new_simulation(), InvariantChecker)
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not checks_enabled()
+
+    def test_simulation_carries_no_checker_when_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert Simulation(1).invariants is None
+
+    def test_simulation_carries_checker_when_on(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(1)
+        assert isinstance(sim.invariants, InvariantChecker)
+
+
+class TestCheckerUnits:
+    def test_event_time_rewind_raises(self):
+        checker = InvariantChecker()
+        checker.check_event_time(5.0, 5.0)  # equal is fine
+        with pytest.raises(InvariantViolation, match="rewind"):
+            checker.check_event_time(4.0, 5.0)
+
+    def test_handler_moved_clock_raises(self):
+        checker = InvariantChecker()
+        checker.check_handler_left_clock(3.0, 3.0)  # untouched is fine
+        with pytest.raises(InvariantViolation, match="moved the clock"):
+            checker.check_handler_left_clock(3.0, 7.0)
+
+    def test_checks_counter_increments(self):
+        checker = InvariantChecker()
+        checker.check_stations()
+        checker.check_stations()
+        assert checker.checks == 2
+
+
+class TestEngineIntegration:
+    def test_clean_run_passes_and_checkpoints(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7)
+        st = Station(sim, 2, service_dist=Deterministic(0.3))
+        drive(sim, st)
+        sim.run()
+        assert st.arrivals > 0
+        assert sim.invariants.checks >= 1
+
+    def test_handler_writing_now_is_caught(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7)
+
+        def rogue():
+            sim.now = 99.0  # repro: noqa[RPR008] -- the violation under test
+
+        sim.schedule(1.0, rogue)
+        with pytest.raises(InvariantViolation, match="RPR008"):
+            sim.run()
+
+    def test_swallowed_completion_is_caught(self, monkeypatch):
+        # The issue's acceptance case: break conservation mid-run by
+        # dropping a completion from the books; the run-end checkpoint
+        # must refuse to let the run report anything.
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7)
+        st = Station(sim, 2, service_dist=Deterministic(0.3))
+        drive(sim, st)
+
+        def swallow():
+            assert st.completions > 0, "tamper scheduled before any completion"
+            st.completions -= 1
+
+        sim.schedule(DURATION / 2, swallow)
+        with pytest.raises(InvariantViolation, match="conservation"):
+            sim.run()
+
+    def test_negative_occupancy_is_caught(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7)
+        st = Station(sim, 1, service_dist=Deterministic(0.1))
+        st._busy = -1
+        with pytest.raises(InvariantViolation, match="negative"):
+            sim.invariants.check_stations()
+
+
+class TestWindowedCheckpoints:
+    def test_every_window_boundary_checks(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7, telemetry=Telemetry(window=1.0, spans=False))
+        st = Station(sim, 2, service_dist=Deterministic(0.3))
+        drive(sim, st)
+        sim.run()
+        # One checkpoint per telemetry window plus the run-end one.
+        assert sim.invariants.checks >= sim.telemetry.windows.windows_emitted
+        assert sim.telemetry.windows.windows_emitted >= int(DURATION) - 1
+
+    def test_windowed_tamper_caught_before_run_end(self, monkeypatch):
+        monkeypatch.setenv(ENV_FLAG, "1")
+        sim = Simulation(7, telemetry=Telemetry(window=1.0, spans=False))
+        st = Station(sim, 2, service_dist=Deterministic(0.3))
+        drive(sim, st)
+        sim.schedule(DURATION / 2, lambda: setattr(st, "arrivals", st.arrivals + 5))
+        with pytest.raises(InvariantViolation, match="telemetry window"):
+            sim.run()
+
+
+class TestZeroCostContract:
+    def _latencies(self, seed):
+        sim = Simulation(seed)
+        lat = []
+        st = Station(
+            sim, 2, service_dist=Deterministic(0.3),
+            on_departure=lambda r: lat.append((r.rid, sim.now)),
+        )
+        drive(sim, st)
+        end = sim.run()
+        return lat, end, st.arrivals, st.completions
+
+    def test_results_bit_identical_with_checks_on_and_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        off = self._latencies(42)
+        monkeypatch.setenv(ENV_FLAG, "1")
+        on = self._latencies(42)
+        assert on == off

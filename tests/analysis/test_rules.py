@@ -1,0 +1,303 @@
+"""Per-rule fixtures: one true positive and one true negative each.
+
+Fixture files are written under a ``repro/...`` subtree of ``tmp_path``
+so the engine's module derivation scopes them exactly like real source
+(``repro.sim.foo`` and friends).
+"""
+
+import textwrap
+
+from repro.analysis.engine import analyze_file
+
+
+def check_source(tmp_path, relpath, source):
+    """Write ``source`` at ``relpath`` under tmp_path and analyze it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return analyze_file(path)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestWallClockRule:
+    def test_flags_time_time_in_sim(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            import time
+
+            def handler():
+                return time.time()
+            """)
+        assert codes(findings) == ["RPR001"]
+        assert "wall-clock" in findings[0].message
+
+    def test_flags_global_random_module(self, tmp_path):
+        findings = check_source(tmp_path, "repro/queueing/bad.py", """\
+            import random
+
+            def draw():
+                return random.random()
+            """)
+        assert codes(findings) == ["RPR001"]
+
+    def test_flags_legacy_numpy_global(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            import numpy as np
+
+            def draw():
+                return np.random.exponential(1.0)
+            """)
+        assert codes(findings) == ["RPR001"]
+
+    def test_flags_unseeded_default_rng_everywhere(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            import numpy as np
+
+            rng = np.random.default_rng()
+            """)
+        assert codes(findings) == ["RPR001"]
+        assert "unseeded" in findings[0].message
+
+    def test_clean_seeded_streams(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/good.py", """\
+            import numpy as np
+
+            def draw(seedseq):
+                rng = np.random.default_rng(seedseq)
+                return rng.exponential(1.0)
+            """)
+        assert findings == []
+
+    def test_wall_clock_allowed_outside_sim_packages(self, tmp_path):
+        # Timing experiment wall-clock (benchmarks, CLI) is legitimate.
+        findings = check_source(tmp_path, "repro/experiments/timing.py", """\
+            import time
+
+            def stopwatch():
+                return time.perf_counter()
+            """)
+        assert findings == []
+
+
+class TestSeedArithmeticRule:
+    def test_flags_seed_offset(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            def runs(base_seed, n):
+                return [base_seed + 1000 * i for i in range(n)]
+            """)
+        assert codes(findings) == ["RPR002"]
+
+    def test_nested_arithmetic_reported_once(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            def child(seed, i, protected):
+                return seed + 100 * i + (7 if protected else 0)
+            """)
+        assert codes(findings) == ["RPR002"]
+
+    def test_clean_derive_seed(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/good.py", """\
+            from repro.parallel.seeding import derive_seed
+
+            def runs(base_seed, n):
+                return [derive_seed(base_seed, i) for i in range(n)]
+            """)
+        assert findings == []
+
+    def test_seeding_module_itself_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/parallel/seeding.py", """\
+            def mix(seed):
+                return (seed * 6364136223846793005 + 1) % 2**64
+            """)
+        assert findings == []
+
+
+class TestMillisecondSmellRule:
+    def test_flags_large_literal_into_latency(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            cloud_latency = 24000
+            """)
+        assert codes(findings) == ["RPR003"]
+
+    def test_flags_ms_name_into_seconds_keyword(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            def build(make, rtt_ms):
+                return make(rtt=rtt_ms)
+            """)
+        assert codes(findings) == ["RPR003"]
+
+    def test_clean_converted_at_boundary(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/good.py", """\
+            def build(make, rtt_ms):
+                cloud_rtt = rtt_ms / 1000.0
+                return make(rtt=cloud_rtt)
+            """)
+        assert findings == []
+
+    def test_ms_suffixed_target_is_fine(self, tmp_path):
+        findings = check_source(tmp_path, "repro/core/good.py", """\
+            cloud_rtt_ms = 24000
+            """)
+        assert findings == []
+
+
+class TestObservablesProtocolRule:
+    def test_flags_non_dict_return(self, tmp_path):
+        findings = check_source(tmp_path, "repro/obs/bad.py", """\
+            class Gauge:
+                def observables(self):
+                    return ["busy"]
+            """)
+        assert codes(findings) == ["RPR004"]
+
+    def test_flags_constant_value_and_extra_args(self, tmp_path):
+        findings = check_source(tmp_path, "repro/obs/bad.py", """\
+            class Gauge:
+                def observables(self, prefix):
+                    return {"busy": 3}
+            """)
+        assert codes(findings) == ["RPR004", "RPR004"]
+
+    def test_clean_protocol_conformant(self, tmp_path):
+        findings = check_source(tmp_path, "repro/obs/good.py", """\
+            class Gauge:
+                def observables(self):
+                    return {"busy": lambda: self._busy, "queue": self.depth}
+            """)
+        assert findings == []
+
+
+class TestRunTasksPicklableRule:
+    def test_flags_lambda(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            from repro.parallel import run_tasks
+
+            def sweep(tasks):
+                return run_tasks(lambda x: x + 1, tasks, workers=4)
+            """)
+        assert codes(findings) == ["RPR005"]
+
+    def test_flags_nested_function(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            from repro.parallel import run_tasks
+
+            def sweep(tasks):
+                def cell(x):
+                    return x + 1
+                return run_tasks(cell, tasks, workers=4)
+            """)
+        assert codes(findings) == ["RPR005"]
+        assert "cell" in findings[0].message
+
+    def test_clean_module_level_function(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/good.py", """\
+            from repro.parallel import run_tasks
+
+            def cell(x):
+                return x + 1
+
+            def sweep(tasks):
+                return run_tasks(cell, tasks, workers=4)
+            """)
+        assert findings == []
+
+
+class TestMutableDefaultRule:
+    def test_flags_list_literal_default(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            def record(value, log=[]):
+                log.append(value)
+                return log
+            """)
+        assert codes(findings) == ["RPR006"]
+
+    def test_flags_dict_call_default(self, tmp_path):
+        findings = check_source(tmp_path, "repro/stats/bad.py", """\
+            def tally(key, counts=dict()):
+                counts[key] = counts.get(key, 0) + 1
+                return counts
+            """)
+        assert codes(findings) == ["RPR006"]
+
+    def test_clean_none_default(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/good.py", """\
+            def record(value, log=None):
+                log = [] if log is None else log
+                log.append(value)
+                return log
+            """)
+        assert findings == []
+
+    def test_scope_is_repro_only(self, tmp_path):
+        findings = check_source(tmp_path, "scripts/helper.py", """\
+            def record(value, log=[]):
+                log.append(value)
+                return log
+            """)
+        assert findings == []
+
+
+class TestSetIterationRule:
+    def test_flags_for_over_set_literal(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            def visit(a, b, c):
+                for station in {a, b, c}:
+                    station.poke()
+            """)
+        assert codes(findings) == ["RPR007"]
+
+    def test_flags_comprehension_over_set_call(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            def names(stations):
+                return [s.name for s in set(stations)]
+            """)
+        assert codes(findings) == ["RPR007"]
+
+    def test_clean_sorted_iteration(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/good.py", """\
+            def names(stations):
+                return [s.name for s in sorted(set(stations), key=lambda s: s.name)]
+            """)
+        assert findings == []
+
+    def test_sets_fine_outside_sim(self, tmp_path):
+        findings = check_source(tmp_path, "repro/stats/good.py", """\
+            def union(groups):
+                out = []
+                for g in {frozenset(g) for g in groups}:
+                    out.append(g)
+                return out
+            """)
+        assert findings == []
+
+
+class TestVirtualTimeMutationRule:
+    def test_flags_direct_now_write(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            def fast_forward(sim, dt):
+                sim.now = sim.now + dt
+            """)
+        assert codes(findings) == ["RPR008"]
+
+    def test_flags_augmented_write(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            def fast_forward(sim, dt):
+                sim.now += dt
+            """)
+        assert codes(findings) == ["RPR008"]
+
+    def test_engine_module_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/engine.py", """\
+            class Simulation:
+                def run(self):
+                    self.now = 1.0
+            """)
+        assert findings == []
+
+    def test_reading_now_is_fine(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/good.py", """\
+            def deadline_left(sim, deadline):
+                return deadline - sim.now
+            """)
+        assert findings == []

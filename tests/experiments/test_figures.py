@@ -123,12 +123,12 @@ class TestFig7:
         assert measured[-1] - measured[0] > 0.1
 
     def test_tail_cutoff_below_mean_cutoff(self, fig7):
-        for m, t in zip(fig7.mean_cutoff, fig7.tail_cutoff):
+        for m, t in zip(fig7.mean_cutoff, fig7.tail_cutoff, strict=True):
             if m is not None and t is not None:
                 assert t <= m + 0.03
 
     def test_predictions_track_measurements(self, fig7):
-        for m, p in zip(fig7.mean_cutoff, fig7.predicted_cutoff):
+        for m, p in zip(fig7.mean_cutoff, fig7.predicted_cutoff, strict=True):
             if m is not None:
                 assert p == pytest.approx(m, abs=0.12)
 

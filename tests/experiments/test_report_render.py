@@ -25,7 +25,7 @@ def make_result(edge_means, cloud_means):
             edge=summary(e),
             cloud=summary(c),
         )
-        for i, (e, c) in enumerate(zip(edge_means, cloud_means))
+        for i, (e, c) in enumerate(zip(edge_means, cloud_means, strict=True))
     )
     return ComparisonResult(scenario=TYPICAL_CLOUD, points=points)
 

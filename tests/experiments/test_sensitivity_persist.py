@@ -53,7 +53,7 @@ class TestSensitivity:
         assert means[0] < means[1] < means[2]
         # Tail vs mean come from different approximations; allow a small
         # tolerance at the tiny-delta_n corner (see the E6 benchmark).
-        assert all(t <= m + 0.05 for t, m in zip(tails, means))
+        assert all(t <= m + 0.05 for t, m in zip(tails, means, strict=True))
 
     def test_delta_n_grid_rejects_rtt_below_edge(self):
         with pytest.raises(ValueError):

@@ -1,5 +1,7 @@
 """Tests for admission control."""
 
+from itertools import count
+
 import numpy as np
 import pytest
 
@@ -21,10 +23,11 @@ MU = 13.0
 
 
 def drive(controlled, sim, rate, duration, rng):
-    def gen(counter=[0]):
+    ids = count()
+
+    def gen():
         if sim.now < duration:
-            controlled.arrive(Request(counter[0], created=sim.now))
-            counter[0] += 1
+            controlled.arrive(Request(next(ids), created=sim.now))
             sim.schedule(rng.exponential(1.0 / rate), gen)
 
     sim.schedule(0.0, gen)
@@ -284,10 +287,11 @@ class TestAdaptiveAdmission:
             ),
         )
 
-        def gen(counter=[100]):
+        ids = count(100)
+
+        def gen():
             if sim.now < 300.0:
-                st.arrive(Request(counter[0], created=sim.now))
-                counter[0] += 1
+                st.arrive(Request(next(ids), created=sim.now))
                 sim.schedule(sim_rng.exponential(1.0 / 30.0), gen)
 
         sim_rng = sim.spawn_rng()

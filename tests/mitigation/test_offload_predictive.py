@@ -1,5 +1,7 @@
 """Tests for hierarchical offloading and the predictive autoscaler."""
 
+from itertools import count
+
 import numpy as np
 import pytest
 
@@ -190,10 +192,11 @@ class TestBoundedStation:
         st_ = Station(sim, 1, Exponential(1.0 / mu), queue_capacity=K - 1)
         rng = sim.spawn_rng()
 
-        def gen(i=[0]):
+        ids = count()
+
+        def gen():
             if sim.now < 4000.0:
-                st_.arrive(Request(i[0], created=sim.now))
-                i[0] += 1
+                st_.arrive(Request(next(ids), created=sim.now))
                 sim.schedule(rng.exponential(1.0 / (rho * mu)), gen)
 
         sim.schedule(0.0, gen)

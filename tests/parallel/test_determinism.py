@@ -39,7 +39,7 @@ class TestSweepDeterminism:
     def test_workers4_bit_identical_to_sequential(self, comparator):
         seq = comparator.sweep(RATES, workers=1)
         par = comparator.sweep(RATES, workers=4)
-        for p, q in zip(seq.points, par.points):
+        for p, q in zip(seq.points, par.points, strict=True):
             assert p.rate_per_site == q.rate_per_site
             assert p.edge == q.edge  # LatencySummary equality is exact
             assert p.cloud == q.cloud
@@ -67,7 +67,7 @@ class TestReplicationDeterminism:
         assert a.values == b.values
 
     def test_precision_rule_independent_of_workers(self):
-        kwargs = dict(initial=4, max_replications=60, base_seed=2)
+        kwargs = {"initial": 4, "max_replications": 60, "base_seed": 2}
         a = replications_for_precision(noisy_experiment, 0.05, workers=1, **kwargs)
         b = replications_for_precision(noisy_experiment, 0.05, workers=4, **kwargs)
         # Same stopping point, same values — the parallel batches replay
@@ -89,16 +89,16 @@ class TestReplicationDeterminism:
 
 class TestRunComparisonDeterminism:
     def test_paired_runs_identical_across_workers(self):
-        kwargs = dict(
-            sites=3,
-            servers_per_site=1,
-            rate_per_site=6.0,
-            service_dist=Exponential(1.0 / 13.0),
-            edge_latency=ConstantLatency.from_ms(1.0),
-            cloud_latency=ConstantLatency.from_ms(24.0),
-            duration=60.0,
-            seed=5,
-        )
+        kwargs = {
+            "sites": 3,
+            "servers_per_site": 1,
+            "rate_per_site": 6.0,
+            "service_dist": Exponential(1.0 / 13.0),
+            "edge_latency": ConstantLatency.from_ms(1.0),
+            "cloud_latency": ConstantLatency.from_ms(24.0),
+            "duration": 60.0,
+            "seed": 5,
+        }
         edge_seq, cloud_seq = run_comparison(workers=1, **kwargs)
         edge_par, cloud_par = run_comparison(workers=2, **kwargs)
         np.testing.assert_array_equal(edge_seq.end_to_end, edge_par.end_to_end)

@@ -96,7 +96,7 @@ class TestRunTasks:
 
     def test_lambda_falls_back_with_diagnostic(self):
         with pytest.warns(RuntimeWarning, match="not picklable"):
-            out = run_tasks(lambda x: x + 1, [(1,), (2,)], workers=2)
+            out = run_tasks(lambda x: x + 1, [(1,), (2,)], workers=2)  # repro: noqa[RPR005] -- the serial-fallback path is exactly what this test exercises
         assert out == [2, 3]
 
     def test_unpicklable_args_fall_back(self):
@@ -110,7 +110,7 @@ class TestRunTasks:
 
     def test_no_nested_pools(self):
         results = run_tasks(nested, [(0,), (10,)], workers=2, chunksize=1)
-        for (inner, flag) in results:
+        for (_inner, flag) in results:
             assert flag == "1"  # ran inside a worker...
         assert results[0][0] == [0, 1] and results[1][0] == [100, 121]
 

@@ -60,7 +60,7 @@ class TestShapes:
             t = np.asarray(t)
             return sum(
                 p * (1.0 - np.exp(-np.maximum(t, 0) / m))
-                for p, m in zip(d.probs, d.means)
+                for p, m in zip(d.probs, d.means, strict=True)
             )
 
         assert ks_pvalue(xs, cdf) > ALPHA

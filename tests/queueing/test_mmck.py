@@ -1,5 +1,7 @@
 """Tests for the exact M/M/c/K model."""
 
+from itertools import count
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -92,10 +94,11 @@ class TestAgainstSimulation:
         st_ = Station(sim, c, Exponential(1.0 / mu), queue_capacity=K - c)
         rng = sim.spawn_rng()
 
-        def gen(i=[0]):
+        ids = count()
+
+        def gen():
             if sim.now < 3000.0:
-                st_.arrive(Request(i[0], created=sim.now))
-                i[0] += 1
+                st_.arrive(Request(next(ids), created=sim.now))
                 sim.schedule(rng.exponential(1.0 / lam), gen)
 
         sim.schedule(0.0, gen)

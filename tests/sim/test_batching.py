@@ -1,5 +1,7 @@
 """Tests for the batching station."""
 
+from itertools import count
+
 import numpy as np
 import pytest
 
@@ -87,10 +89,11 @@ class TestBatchingEconomics:
                               base=0.05, per_item=0.01)
             rng = sim.spawn_rng()
 
-            def gen(i=[0]):
+            ids = count()
+
+            def gen():
                 if sim.now < 100.0:
-                    st.arrive(Request(i[0], created=sim.now))
-                    i[0] += 1
+                    st.arrive(Request(next(ids), created=sim.now))
                     sim.schedule(rng.exponential(1.0 / 40.0), gen)
 
             sim.schedule(0.0, gen)
@@ -108,10 +111,11 @@ class TestBatchingEconomics:
             st.on_departure = lambda r: waits.append(r.service_start - r.arrived)
             rng = sim.spawn_rng()
 
-            def gen(i=[0]):
+            ids = count()
+
+            def gen():
                 if sim.now < 300.0:
-                    st.arrive(Request(i[0], created=sim.now))
-                    i[0] += 1
+                    st.arrive(Request(next(ids), created=sim.now))
                     sim.schedule(rng.exponential(1.0 / rate), gen)
 
             sim.schedule(0.0, gen)
@@ -144,10 +148,11 @@ class TestValidation:
         st = make_station(sim, batch_size=3, timeout=0.05)
         rng = sim.spawn_rng()
 
-        def gen(i=[0]):
+        ids = count()
+
+        def gen():
             if sim.now < 50.0:
-                st.arrive(Request(i[0], created=sim.now))
-                i[0] += 1
+                st.arrive(Request(next(ids), created=sim.now))
                 sim.schedule(rng.exponential(0.05), gen)
 
         sim.schedule(0.0, gen)

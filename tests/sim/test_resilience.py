@@ -25,8 +25,9 @@ from repro.sim.resilience import (
 from repro.sim.topology import CloudDeployment, EdgeDeployment, EdgeSite
 
 
-def _edge(sim, service=Deterministic(0.1), sites=1, servers=1,
+def _edge(sim, service=None, sites=1, servers=1,
           queue_capacity=None, latency=None):
+    service = Deterministic(0.1) if service is None else service
     built = [
         EdgeSite(
             sim, f"s{i}", servers,
@@ -38,7 +39,8 @@ def _edge(sim, service=Deterministic(0.1), sites=1, servers=1,
     return EdgeDeployment(sim, built)
 
 
-def _cloud(sim, service=Deterministic(0.1), servers=4):
+def _cloud(sim, service=None, servers=4):
+    service = Deterministic(0.1) if service is None else service
     return CloudDeployment(
         sim, servers=servers, latency=ConstantLatency.from_ms(24.0),
         service_dist=service,

@@ -106,14 +106,14 @@ class TestInversionEmergesInSimulation:
 
 class TestLoadBalancedCloud:
     def test_jsq_worse_than_central_queue_but_close(self):
-        kwargs = dict(
-            sites=5,
-            servers_per_site=1,
-            rate_per_site=10.0,
-            service_dist=SERVICE,
-            latency=CLOUD_LAT,
-            duration=2500.0,
-        )
+        kwargs = {
+            "sites": 5,
+            "servers_per_site": 1,
+            "rate_per_site": 10.0,
+            "service_dist": SERVICE,
+            "latency": CLOUD_LAT,
+            "duration": 2500.0,
+        }
         central = run_deployment("cloud", seed=31, **kwargs)
         jsq = run_deployment(
             "cloud", seed=31, policy=JoinShortestQueue(), backends=5, **kwargs
@@ -183,10 +183,10 @@ class TestArgumentValidation:
             )
 
     def test_bad_duration_and_warmup(self):
-        common = dict(
-            sites=1, servers_per_site=1, rate_per_site=1.0,
-            service_dist=SERVICE, latency=EDGE_LAT,
-        )
+        common = {
+            "sites": 1, "servers_per_site": 1, "rate_per_site": 1.0,
+            "service_dist": SERVICE, "latency": EDGE_LAT,
+        }
         with pytest.raises(ValueError):
             run_deployment("edge", duration=0.0, **common)
         with pytest.raises(ValueError):
