@@ -1,10 +1,11 @@
-"""The project-specific rule pack (``RPR001`` … ``RPR008``).
+"""The project-specific rule pack (``RPR001`` … ``RPR009``).
 
 Each rule encodes one invariant the reproduction's results rest on but
 no generic linter knows about — determinism of the simulation substrate,
-the seconds-only unit convention, and the small protocols
+the seconds-only unit convention, the small protocols
 (``observables()``, ``run_tasks`` picklability) that PRs 2–4
-introduced.  Rationale and worked examples for every rule live in
+introduced, and the crash-durability contract of the journaled run
+store (PR 6).  Rationale and worked examples for every rule live in
 ``docs/static_analysis.md``; suppress a deliberate exception with
 ``# repro: noqa[RPRnnn]  -- reason`` on the flagged line.
 
@@ -506,3 +507,66 @@ class VirtualTimeMutationRule(Rule):
                         "direct write to .now: virtual time may only advance "
                         "through the event calendar (Simulation.schedule)",
                     )
+
+
+@rule
+class AtomicStoreWriteRule(Rule):
+    """RPR009: journal files are written only through ``fsync_append``.
+
+    The crash-safety proof of :mod:`repro.experiments.store` rests on a
+    single property: every journal mutation is one ``\\n``-terminated
+    line issued as a single ``os.write`` followed by ``os.fsync``, so a
+    crash leaves at most one truncated *final* line.  A buffered
+    ``open(path, "w")`` / ``Path.write_text`` sneaking into the store
+    module silently voids that guarantee — the data may sit in a user-
+    space buffer (or worse, truncate the file) when the process dies.
+    Raw ``os.open``/``os.write`` are exempt: they are what
+    ``fsync_append`` itself is built from.
+    """
+
+    code = "RPR009"
+    summary = "buffered write path in the journaled run store (use fsync_append)"
+
+    _WRITE_METHODS = {"write_text", "write_bytes"}
+    _WRITE_MODE_CHARS = set("wax+")
+
+    def _open_mode(self, node: ast.Call) -> str | None:
+        """The literal mode string of an ``open`` call, if determinable."""
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                if isinstance(kw.value, ast.Constant) and isinstance(kw.value.value, str):
+                    return kw.value.value
+                return None  # dynamic mode: can't tell
+        if len(node.args) >= 2:
+            arg = node.args[1]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return arg.value
+            return None
+        return "r"  # open(path) defaults to read
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.experiments.store"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in ("open", "io.open", "builtins.open"):
+                mode = self._open_mode(node)
+                if mode is not None and not self._WRITE_MODE_CHARS.isdisjoint(mode):
+                    yield self.finding(
+                        ctx, node,
+                        f"buffered open(..., {mode!r}) in the run store; "
+                        "journal writes must go through fsync_append "
+                        "(single os.write + os.fsync) to stay crash-safe",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._WRITE_METHODS
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f".{node.func.attr}() in the run store rewrites the "
+                    "whole file non-durably; append records through "
+                    "fsync_append instead",
+                )

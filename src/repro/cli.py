@@ -22,6 +22,13 @@ processes via :mod:`repro.parallel`, with results bit-identical to the
 sequential run.  ``--telemetry`` and ``--workers > 1`` are mutually
 exclusive — see ``docs/performance.md``.
 
+``--checkpoint PATH`` journals the sweep-shaped experiments to a
+crash-safe run store (:mod:`repro.experiments.store`): a run killed at
+any point — worker crash, Ctrl-C, OOM — rerun with the same flags
+replays completed tasks from disk and finishes bit-identically to an
+uninterrupted run.  ``--resume`` additionally requires the journal to
+already exist (a guard against typos).  See ``docs/robustness.md``.
+
 ``--check-invariants`` (or ``REPRO_CHECK=1`` in the environment) turns
 on the runtime invariant checker (:mod:`repro.analysis.invariants`):
 virtual-time monotonicity, request conservation and non-negative
@@ -196,15 +203,34 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         "request conservation, non-negative occupancy); equivalent to "
         "setting REPRO_CHECK=1",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal sweep-shaped experiments to PATH "
+        "(repro.experiments.store): completed tasks replay from disk, "
+        "fresh results are durably appended — a killed run rerun with "
+        "the same flags resumes bit-identically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="require --checkpoint to already exist (fail fast on a "
+        "mistyped path instead of silently recomputing from scratch)",
+    )
 
 
 def _sized_config(args: argparse.Namespace) -> ExperimentConfig:
-    """The experiment config implied by --full/--seed/--workers."""
+    """The experiment config implied by --full/--seed/--workers/--checkpoint."""
     cfg = FULL if getattr(args, "full", False) else FAST
     if getattr(args, "seed", None) is not None:
         cfg = replace(cfg, seed=args.seed)
     if getattr(args, "workers", None) is not None:
         cfg = replace(cfg, workers=args.workers)
+    if getattr(args, "checkpoint", None) is not None:
+        cfg = replace(
+            cfg, checkpoint=args.checkpoint, resume=getattr(args, "resume", False)
+        )
     return cfg
 
 
@@ -272,6 +298,14 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if getattr(args, "resume", False):
+        if not getattr(args, "checkpoint", None):
+            parser.error("--resume requires --checkpoint PATH")
+        if not os.path.exists(args.checkpoint):
+            parser.error(
+                f"--resume: checkpoint {args.checkpoint!r} does not exist; "
+                "run once with --checkpoint (without --resume) to create it"
+            )
     if getattr(args, "check_invariants", False):
         # Simulations read the flag at construction time, and worker
         # processes inherit the environment — one env var covers both the

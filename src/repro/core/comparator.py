@@ -187,7 +187,27 @@ class EdgeCloudComparator:
             cloud=summarize(cloud.after(cut).end_to_end),
         )
 
-    def sweep(self, rates, *, workers: int | None = None) -> ComparisonResult:
+    def _journal_scope(self) -> str:
+        """Identity string keying this comparator's journal entries.
+
+        Everything that shapes a sweep point's value is included, so two
+        differently-configured comparators can share one checkpoint file
+        without ever replaying each other's results.
+        """
+        return (
+            f"sweep|{self.scenario!r}|seed={self.seed}"
+            f"|rps={self.requests_per_site}|ca2={self.arrival_cv2}"
+            f"|wf={self.warmup_fraction}"
+        )
+
+    def sweep(
+        self,
+        rates,
+        *,
+        workers: int | None = None,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> ComparisonResult:
         """Measure a series of per-site rates (a full figure's series).
 
         Parameters
@@ -198,31 +218,60 @@ class EdgeCloudComparator:
             Process count for the fan-out (``None`` = ``$REPRO_WORKERS``
             or 1).  Each point's RNG stream is derived from its index, so
             the result is bit-identical for every worker count.
+        checkpoint:
+            Journal path (or an open
+            :class:`~repro.experiments.store.RunJournal`): completed
+            points replay from disk, fresh points are durably appended —
+            a killed sweep resumes bit-identically.  ``None`` (default)
+            adds zero overhead.
+        resume:
+            Require the checkpoint to already exist (fail fast on a
+            mistyped path instead of silently recomputing everything).
         """
         rates = list(rates)
         if not rates:
             raise ValueError("rates must be non-empty")
-        points = run_tasks(
-            self.measure_point,
-            [(float(r), i) for i, r in enumerate(rates)],
-            workers=workers,
-            label="sweep point",
+        from repro.experiments.store import open_journal
+
+        journal, owned = open_journal(
+            checkpoint, scope=self._journal_scope(), resume=resume
         )
+        try:
+            points = run_tasks(
+                self.measure_point,
+                [(float(r), i) for i, r in enumerate(rates)],
+                workers=workers,
+                label="sweep point",
+                base_seed=self.seed,
+                journal=journal,
+            )
+        finally:
+            if owned:
+                journal.close()
         return ComparisonResult(scenario=self.scenario, points=tuple(points))
 
     def find_crossover(
-        self, metric: str = "mean", utilizations=None, *, workers: int | None = None
+        self,
+        metric: str = "mean",
+        utilizations=None,
+        *,
+        workers: int | None = None,
+        checkpoint=None,
+        resume: bool = False,
     ) -> tuple[float | None, float | None]:
         """Locate the inversion point over a default utilization grid.
 
         Returns ``(rate, utilization)`` of the crossover, or
         ``(None, None)`` if the edge stays ahead below saturation.
-        ``workers`` fans the underlying sweep across processes.
+        ``workers`` fans the underlying sweep across processes;
+        ``checkpoint``/``resume`` journal it (see :meth:`sweep`).
         """
         if utilizations is None:
             utilizations = np.arange(0.1, 0.96, 0.05)
         rates = [self.scenario.rate_for_utilization(float(u)) for u in utilizations]
-        result = self.sweep(rates, workers=workers)
+        result = self.sweep(
+            rates, workers=workers, checkpoint=checkpoint, resume=resume
+        )
         rate = result.crossover_rate(metric)
         if rate is None:
             return None, None

@@ -31,6 +31,15 @@ class ExperimentConfig:
         experiment (sweep points, paired edge/cloud runs); ``None``
         defers to ``$REPRO_WORKERS`` (default 1).  Results are
         bit-identical for every worker count (:mod:`repro.parallel`).
+    checkpoint:
+        Path of a run journal (:mod:`repro.experiments.store`): the
+        sweep-shaped experiments replay completed tasks from it and
+        durably append fresh ones, so a killed run resumes
+        bit-identically.  ``None`` (default) disables journaling with
+        zero overhead.
+    resume:
+        Require ``checkpoint`` to already exist (fail fast on a
+        mistyped path instead of silently recomputing from scratch).
     """
 
     requests_per_site: int = 40_000
@@ -38,6 +47,8 @@ class ExperimentConfig:
     azure_functions: int = 40
     seed: int = 2021
     workers: int | None = None
+    checkpoint: str | None = None
+    resume: bool = False
 
     def __post_init__(self):
         if self.requests_per_site < 1000:
@@ -46,6 +57,8 @@ class ExperimentConfig:
             raise ValueError("invalid azure trace sizing")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.resume and self.checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
 
 
 FAST = ExperimentConfig(requests_per_site=30_000, azure_duration=3600.0)

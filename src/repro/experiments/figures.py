@@ -103,13 +103,26 @@ class SweepFigure:
 def _sweep_figure(
     scenario: Scenario, metric: str, config: ExperimentConfig
 ) -> SweepFigure:
+    # Both sweeps share one checkpoint file when the config names one:
+    # each comparator's journal scope (scenario + seed + sizing) keeps
+    # their records disjoint, so a killed figure resumes either half.
     k5 = EdgeCloudComparator(
         scenario, requests_per_site=config.requests_per_site, seed=config.seed
-    ).sweep(PAPER_RATE_SWEEP, workers=config.workers)
+    ).sweep(
+        PAPER_RATE_SWEEP,
+        workers=config.workers,
+        checkpoint=config.checkpoint,
+        resume=config.resume,
+    )
     two = scenario.with_machines(2)
     k10 = EdgeCloudComparator(
         two, requests_per_site=config.requests_per_site, seed=derive_seed(config.seed, 1)
-    ).sweep([2.0 * r for r in PAPER_RATE_SWEEP], workers=config.workers)
+    ).sweep(
+        [2.0 * r for r in PAPER_RATE_SWEEP],
+        workers=config.workers,
+        checkpoint=config.checkpoint,
+        resume=config.resume,
+    )
     return SweepFigure(scenario=scenario, metric=metric, k5=k5, k10=k10)
 
 
@@ -191,7 +204,14 @@ def fig7_cutoff_utilizations(config: ExperimentConfig = FAST) -> Fig7Result:
             scenario, requests_per_site=config.requests_per_site, seed=derive_seed(config.seed, i)
         )
         rates = [scenario.rate_for_utilization(float(u)) for u in grid]
-        result = cmp_.sweep(rates, workers=config.workers)
+        # One shared checkpoint file: per-comparator scopes (scenario +
+        # derived seed) keep the four placements' records disjoint.
+        result = cmp_.sweep(
+            rates,
+            workers=config.workers,
+            checkpoint=config.checkpoint,
+            resume=config.resume,
+        )
         means.append(result.crossover_utilization("mean"))
         tails.append(result.crossover_utilization("p95"))
         preds.append(cmp_.predict_cutoff_utilization())

@@ -216,7 +216,25 @@ def retry_storm(
             (derive_seed(cfg.seed, i, 3), rate, duration, slo_deadline, True, True),
             (derive_seed(cfg.seed, i, 4), rate, duration, slo_deadline, True, False),
         ]
-    cells = run_tasks(_storm_cell, tasks, workers=cfg.workers, label="storm cell")
+    from repro.experiments.store import open_journal
+
+    journal, owned = open_journal(
+        cfg.checkpoint,
+        scope=f"retry_storm|seed={cfg.seed}|duration={duration}|slo={slo_deadline}",
+        resume=cfg.resume,
+    )
+    try:
+        cells = run_tasks(
+            _storm_cell,
+            tasks,
+            workers=cfg.workers,
+            label="storm cell",
+            base_seed=cfg.seed,
+            journal=journal,
+        )
+    finally:
+        if owned:
+            journal.close()
     points = []
     for i, rate in enumerate(rates):
         (ne, _, _), (nc, _, _), (re_, ea, ef), (rc, ca, _) = cells[4 * i : 4 * i + 4]

@@ -9,6 +9,16 @@ independent runs:
   based seed derivation, the collision-free replacement for arithmetic
   on raw integer seeds.
 
+Two more halves back the crash-safety layer (PR 6):
+
+* :mod:`repro.parallel.supervise` — the fault-tolerant executor behind
+  ``run_tasks(timeout= / retries= / salvage= / journal=)``: per-task
+  deadlines, deterministically-jittered retries, :class:`TaskOutcome`
+  envelopes and journal replay;
+* :mod:`repro.parallel.chaos` — env-triggered worker-kill injection and
+  the ``python -m repro.parallel.chaos`` self-test proving salvage,
+  resume bit-identity and orphan-free interrupts.
+
 The substrate's invariant: **parallel results are bit-identical to
 sequential ones.**  Seeds depend only on the task's index under the
 experiment's base seed, never on scheduling, so
@@ -25,11 +35,23 @@ from repro.parallel.seeding import (
     seed_sequence,
     spawn_child,
 )
+from repro.parallel.supervise import (
+    RetryPolicy,
+    SupervisionStats,
+    TaskOutcome,
+    run_supervised,
+    supervision_stats,
+)
 
 __all__ = [
     "ParallelTaskError",
+    "RetryPolicy",
+    "SupervisionStats",
+    "TaskOutcome",
     "resolve_workers",
+    "run_supervised",
     "run_tasks",
+    "supervision_stats",
     "derive_rng",
     "derive_seed",
     "derive_seedseq",

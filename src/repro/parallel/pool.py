@@ -1,4 +1,4 @@
-"""Process-pool fan-out for independent simulation runs.
+"""Process fan-out for independent simulation runs.
 
 Every figure in the paper is a sweep of independently seeded runs, so
 the natural execution model is embarrassingly parallel: ship each run to
@@ -17,8 +17,15 @@ order).
   live simulations) also fall back, with a diagnostic warning naming the
   offending object instead of a cryptic pool crash.
 * **Error propagation** — a crash in one worker surfaces as
-  :class:`ParallelTaskError` naming the failing task index and carrying
-  the worker-side traceback text; remaining tasks are cancelled.
+  :class:`ParallelTaskError` naming the failing task index (with its
+  truncated args and, given ``base_seed=``, its derived seed) and
+  carrying the worker-side traceback text.
+* **Fault tolerance on demand** — passing any of ``timeout=``,
+  ``retries=``, ``salvage=`` or ``journal=`` switches to the supervised
+  executor (:mod:`repro.parallel.supervise`): per-task deadlines,
+  deterministic retry backoff, partial-result salvage and crash-safe
+  checkpoint/resume.  With none of them set, this module's plain fast
+  path runs unchanged — supervision costs nothing when unused.
 * **Telemetry safety** — the process-wide :func:`repro.obs.install`
   factory is process-local state.  Rather than silently dropping spans
   in forked workers, ``run_tasks`` refuses to fan out while a factory is
@@ -36,24 +43,27 @@ import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
-__all__ = ["ParallelTaskError", "resolve_workers", "run_tasks"]
+from repro.parallel.supervise import (
+    _IN_WORKER_ENV,
+    ParallelTaskError,
+    RetryPolicy,
+    TaskOutcome,
+    _task_context,
+    run_supervised,
+)
+
+__all__ = [
+    "ParallelTaskError",
+    "RetryPolicy",
+    "TaskOutcome",
+    "resolve_workers",
+    "run_tasks",
+]
 
 #: Environment variable giving the default worker count (``workers=None``).
 WORKERS_ENV = "REPRO_WORKERS"
-
-#: Set in worker processes so nested ``run_tasks`` calls stay serial.
-_IN_WORKER_ENV = "REPRO_IN_WORKER"
-
-
-class ParallelTaskError(RuntimeError):
-    """One task of a parallel batch failed.
-
-    The message names the failing task (label and index) and embeds the
-    worker-side traceback; the original exception is chained as
-    ``__cause__`` on the serial path (worker processes can only ship the
-    formatted text).
-    """
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -85,14 +95,14 @@ def _worker_init() -> None:
 
 
 def _call(payload):
-    index, label, fn, args = payload
+    index, label, fn, args, base_seed = payload
     try:
         return fn(*args)
     except Exception as exc:
         tb = traceback.format_exc()
         raise ParallelTaskError(
-            f"{label} #{index} (args={args!r}) failed in worker with "
-            f"{type(exc).__name__}: {exc}\n{tb}"
+            f"{_task_context(label, index, args, base_seed)} failed in "
+            f"worker with {type(exc).__name__}: {exc}\n{tb}"
         ) from exc
 
 
@@ -109,6 +119,19 @@ def _pickle_diagnostic(fn: Callable, tasks: Sequence[tuple]) -> str | None:
     return None
 
 
+def _refuse_telemetry_fanout() -> None:
+    from repro.obs import provider
+
+    if provider.is_installed():
+        raise RuntimeError(
+            "telemetry is installed (repro.obs.install) but run_tasks was "
+            "asked for workers > 1: worker processes cannot stream spans "
+            "back to this process's exporters, so the records would be "
+            "silently lost.  Use workers=1 with telemetry, or uninstall "
+            "the factory around the parallel section."
+        )
+
+
 def run_tasks(
     fn: Callable,
     tasks: Iterable[tuple],
@@ -116,6 +139,12 @@ def run_tasks(
     workers: int | None = None,
     chunksize: int | None = None,
     label: str = "task",
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    salvage: bool = False,
+    base_seed: int | None = None,
+    journal: Any = None,
 ) -> list:
     """Run ``fn(*task)`` for every task, fanning across processes.
 
@@ -132,24 +161,50 @@ def run_tasks(
         Process count; ``None`` reads ``$REPRO_WORKERS`` (default 1).
         ``1`` is the exact sequential loop — no pool, no wrapping.
     chunksize:
-        Tasks shipped per worker dispatch; default balances ~4 chunks
-        per worker.
+        Tasks shipped per worker dispatch on the plain-pool path;
+        default balances ~4 chunks per worker.  Ignored under
+        supervision (each attempt is its own process).
     label:
         Human name used in error messages ("sweep point", "replication").
+    timeout:
+        Per-task deadline in seconds (supervised; requires
+        ``workers >= 2`` to be enforceable — a stalled attempt is
+        terminated and counts as ``"timed-out"``).
+    retries:
+        Bounded retries per task (supervised).  Backoff between attempts
+        is exponential from ``backoff`` with deterministic jitter drawn
+        via :mod:`repro.parallel.seeding` from ``base_seed`` — and since
+        tasks are deterministic functions of their arguments, a retry
+        can only reproduce what the first attempt would have returned.
+    backoff:
+        Initial retry backoff in seconds (see :class:`RetryPolicy`).
+    salvage:
+        Return a list of :class:`TaskOutcome` envelopes — including
+        failures — instead of raising on the first exhausted task
+        (supervised).
+    base_seed:
+        The experiment's base seed, used to (a) derive retry-jitter
+        streams and (b) name the failing task's derived seed in
+        :class:`ParallelTaskError` messages.  Never alters results.
+    journal:
+        A :class:`repro.experiments.store.RunJournal` (or duck-typed
+        equivalent): completed tasks replay from it, fresh results are
+        durably appended as they arrive (supervised).
 
     Returns
     -------
     list
         ``fn(*tasks[i])`` results in task order — bit-identical to the
         sequential loop for any worker count, because nothing about the
-        computation depends on scheduling.
+        computation depends on scheduling.  With ``salvage=True``, a
+        list of :class:`TaskOutcome` in task order instead.
 
     Raises
     ------
     ParallelTaskError
-        If a task fails in a worker (named by index, traceback attached).
-        On the serial path the task's original exception propagates
-        unwrapped.
+        If a task fails in a worker (named by index, args and derived
+        seed, traceback attached) and ``salvage`` is off.  On the plain
+        serial path the task's original exception propagates unwrapped.
     RuntimeError
         If ``workers > 1`` while a telemetry factory is installed —
         fan-out would silently drop every span recorded in the workers;
@@ -157,34 +212,57 @@ def run_tasks(
     """
     tasks = [tuple(t) for t in tasks]
     workers = resolve_workers(workers)
+    supervised = (
+        timeout is not None or retries > 0 or salvage or journal is not None
+    )
     if workers > 1:
-        from repro.obs import provider
+        _refuse_telemetry_fanout()
 
-        if provider.is_installed():
-            raise RuntimeError(
-                "telemetry is installed (repro.obs.install) but run_tasks was "
-                "asked for workers > 1: worker processes cannot stream spans "
-                "back to this process's exporters, so the records would be "
-                "silently lost.  Use workers=1 with telemetry, or uninstall "
-                "the factory around the parallel section."
+    if not supervised:
+        if workers == 1 or len(tasks) <= 1:
+            return [fn(*t) for t in tasks]
+        diagnostic = _pickle_diagnostic(fn, tasks)
+        if diagnostic is not None:
+            warnings.warn(
+                f"run_tasks falling back to serial execution: {diagnostic}. "
+                "Pass a module-level function (or a bound method of a "
+                "picklable object) to enable process parallelism.",
+                RuntimeWarning,
+                stacklevel=2,
             )
-    if workers == 1 or len(tasks) <= 1:
-        return [fn(*t) for t in tasks]
+            return [fn(*t) for t in tasks]
+        workers = min(workers, len(tasks))
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (workers * 4))
+        payloads = [(i, label, fn, t, base_seed) for i, t in enumerate(tasks)]
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init
+        ) as pool:
+            return list(pool.map(_call, payloads, chunksize=chunksize))
 
-    diagnostic = _pickle_diagnostic(fn, tasks)
-    if diagnostic is not None:
-        warnings.warn(
-            f"run_tasks falling back to serial execution: {diagnostic}. "
-            "Pass a module-level function (or a bound method of a picklable "
-            "object) to enable process parallelism.",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [fn(*t) for t in tasks]
-
-    workers = min(workers, len(tasks))
-    if chunksize is None:
-        chunksize = max(1, len(tasks) // (workers * 4))
-    payloads = [(i, label, fn, t) for i, t in enumerate(tasks)]
-    with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-        return list(pool.map(_call, payloads, chunksize=chunksize))
+    # Supervised path: timeouts / retries / salvage / journal.
+    policy = RetryPolicy(retries=retries, timeout=timeout, backoff=backoff)
+    if workers > 1 and tasks:
+        diagnostic = _pickle_diagnostic(fn, tasks)
+        if diagnostic is not None:
+            warnings.warn(
+                f"run_tasks falling back to serial execution: {diagnostic}. "
+                "Pass a module-level function (or a bound method of a "
+                "picklable object) to enable process parallelism.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            workers = 1
+    outcomes = run_supervised(
+        fn,
+        tasks,
+        workers=min(workers, max(1, len(tasks))),
+        policy=policy,
+        label=label,
+        base_seed=base_seed,
+        journal=journal,
+        fail_fast=not salvage,
+    )
+    if salvage:
+        return outcomes
+    return [o.result for o in outcomes]

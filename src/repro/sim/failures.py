@@ -67,6 +67,10 @@ class FailureInjector:
         self.failures = 0
         self._downtime: dict[str, float] = {s.name: 0.0 for s in self.stations}
         self._down_since: dict[str, float] = {}
+        # Scheduled forced-outage windows per station, for overlap checks.
+        self._windows: dict[str, list[tuple[float, float]]] = {
+            s.name: [] for s in self.stations
+        }
         self._rng = sim.spawn_rng()
         if self.mtbf is not None:
             for st in self.stations:
@@ -85,21 +89,45 @@ class FailureInjector:
         (clamped to ``stop_time``) — the shared-cause regime real edge
         platforms exhibit (power/backhaul incidents taking out several
         co-located sites at once), which per-site exponential failures
-        cannot produce.  Stations already down when the window opens
-        keep their earlier repair schedule (windows collapse).
+        cannot produce.
+
+        Windows on the same station must be disjoint and must start
+        inside the run: an overlapping (or touching) window used to
+        silently mis-stack its fail/repair events onto the earlier
+        window's, and a window starting at or past ``stop_time`` was
+        silently dropped — both now raise ``ValueError`` so a campaign's
+        outage plan fails loudly at scheduling time instead of quietly
+        computing an availability it never injected.
         """
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
         if start < self.sim.now:
             raise ValueError(f"outage start {start} is in the past (now={self.sim.now})")
+        if start >= self.stop_time:
+            raise ValueError(
+                f"outage start {start} is at or past stop_time "
+                f"{self.stop_time}; it would never be injected"
+            )
         targets = self.stations if stations is None else list(stations)
         for st in targets:
             if st.name not in self._downtime:
                 raise KeyError(f"station {st.name!r} is not managed by this injector")
-        if start >= self.stop_time:
-            return
-        repair_at = min(start + duration, self.stop_time)
+        end = start + duration
         for st in targets:
+            for s0, e0 in self._windows[st.name]:
+                # Touching counts as overlap: same-timestamp fail/repair
+                # events would interleave in insertion order and the
+                # second window's fail could land before the first's
+                # repair, silently collapsing both.
+                if start <= e0 and s0 <= end:
+                    raise ValueError(
+                        f"outage window [{start}, {end}) overlaps scheduled "
+                        f"window [{s0}, {e0}) on station {st.name!r}; forced "
+                        "windows on one station must be disjoint"
+                    )
+        repair_at = min(end, self.stop_time)
+        for st in targets:
+            self._windows[st.name].append((start, end))
             self.sim.schedule_at(start, self._forced_fail, st, repair_at)
 
     def _forced_fail(self, station: Station, repair_at: float) -> None:

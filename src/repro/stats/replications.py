@@ -79,6 +79,13 @@ class ReplicationSummary:
         )
 
 
+def _experiment_id(experiment: Callable) -> str:
+    """Stable identity of the experiment callable for journal scoping."""
+    module = getattr(experiment, "__module__", "?")
+    name = getattr(experiment, "__qualname__", repr(experiment))
+    return f"{module}.{name}"
+
+
 def _replication_seeds(base_seed: int, start: int, stop: int) -> list[int]:
     """Seeds for replications ``start..stop-1`` under ``base_seed``.
 
@@ -97,6 +104,8 @@ def replicate(
     base_seed: int = 0,
     confidence: float = 0.95,
     workers: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ReplicationSummary:
     """Run ``experiment(seed)`` for R distinct seeds and aggregate.
 
@@ -117,17 +126,34 @@ def replicate(
         Process count for the fan-out (``None`` = ``$REPRO_WORKERS`` or
         1).  Seeds depend only on the replication index, so the summary
         is bit-identical for every worker count.
+    checkpoint:
+        Journal path (or open :class:`repro.experiments.store.RunJournal`):
+        completed replications replay from disk on a rerun, fresh ones
+        are durably appended — a killed campaign resumes bit-identically.
+    resume:
+        Require the checkpoint file to already exist (fail fast on a
+        mistyped path).
     """
     if replications < 2:
         raise ValueError(f"replications must be >= 2, got {replications}")
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
-    results = run_tasks(
-        experiment,
-        [(s,) for s in _replication_seeds(base_seed, 0, replications)],
-        workers=workers,
-        label="replication",
-    )
+    from repro.experiments.store import open_journal
+
+    scope = f"replicate|{_experiment_id(experiment)}|base_seed={base_seed}"
+    journal, owned = open_journal(checkpoint, scope=scope, resume=resume)
+    try:
+        results = run_tasks(
+            experiment,
+            [(s,) for s in _replication_seeds(base_seed, 0, replications)],
+            workers=workers,
+            label="replication",
+            base_seed=base_seed,
+            journal=journal,
+        )
+    finally:
+        if owned:
+            journal.close()
     values = tuple(float(v) for v in results)
     return ReplicationSummary(values=values, confidence=confidence)
 

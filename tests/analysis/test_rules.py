@@ -272,6 +272,67 @@ class TestSetIterationRule:
         assert findings == []
 
 
+class TestAtomicStoreWriteRule:
+    def test_flags_buffered_open_write(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/store/bad.py", """\
+            def save(path, line):
+                with open(path, "w") as fh:
+                    fh.write(line)
+            """)
+        assert codes(findings) == ["RPR009"]
+        assert "fsync_append" in findings[0].message
+
+    def test_flags_append_mode_and_mode_keyword(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/store/bad.py", """\
+            def save(path, line):
+                with open(path, "a") as fh:
+                    fh.write(line)
+
+            def save2(path, line):
+                with open(path, mode="r+") as fh:
+                    fh.write(line)
+            """)
+        assert codes(findings) == ["RPR009", "RPR009"]
+
+    def test_flags_path_write_text(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/store/bad.py", """\
+            def save(path, text):
+                path.write_text(text)
+            """)
+        assert codes(findings) == ["RPR009"]
+        assert "write_text" in findings[0].message
+
+    def test_clean_reads_and_raw_os_writes(self, tmp_path):
+        # The sanctioned pattern: os.open + single os.write + os.fsync
+        # (what fsync_append does), plus ordinary reads.
+        findings = check_source(tmp_path, "repro/experiments/store/good.py", """\
+            import os
+
+            def fsync_append(fd, line):
+                os.write(fd, line.encode("utf-8"))
+                os.fsync(fd)
+
+            def load(path):
+                with open(path) as fh:
+                    return fh.readlines()
+
+            def load_mode(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+            """)
+        assert findings == []
+
+    def test_buffered_writes_fine_outside_store(self, tmp_path):
+        # Figure outputs, BENCH json etc. legitimately use plain writes.
+        findings = check_source(tmp_path, "repro/experiments/figures_io.py", """\
+            def dump(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+                path.write_text(text)
+            """)
+        assert findings == []
+
+
 class TestVirtualTimeMutationRule:
     def test_flags_direct_now_write(self, tmp_path):
         findings = check_source(tmp_path, "repro/sim/bad.py", """\

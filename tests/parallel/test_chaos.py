@@ -1,0 +1,92 @@
+"""Tests for chaos injection and the crash-safety self-test scenarios.
+
+The heavyweight end-to-end proof lives in ``python -m
+repro.parallel.chaos`` (run by the CI ``chaos-smoke`` job); these tests
+exercise the injection primitives directly and run the in-process
+scenarios (crash + retry, crash + salvage + resume) against a baseline.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.parallel import run_tasks
+from repro.parallel.chaos import (
+    CHAOS_EXIT_CODE,
+    CHAOS_KILL_ENV,
+    CHAOS_ONCE_DIR_ENV,
+    _scenario_crash_resume,
+    _scenario_crash_retry,
+    _selftest_tasks,
+    chaos_point,
+    synthetic_point,
+)
+
+
+class TestChaosPoint:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_KILL_ENV, raising=False)
+        chaos_point(0)  # must simply return
+
+    def test_noop_for_untargeted_index(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_KILL_ENV, "2,5")
+        chaos_point(0)
+        chaos_point(4)
+
+    def test_bad_spec_raises(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_KILL_ENV, "2,banana")
+        with pytest.raises(ValueError, match="task indices"):
+            chaos_point(0)
+
+    def test_targeted_index_exits_with_chaos_code(self, monkeypatch, tmp_path):
+        # The exit itself must happen in a sacrificial process.
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        code = (
+            "import os, sys; sys.path.insert(0, %r); "
+            "from repro.parallel.chaos import chaos_point; "
+            "chaos_point(3); print('survived')" % src
+        )
+        env = dict(os.environ, **{CHAOS_KILL_ENV: "3"})
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True
+        )
+        assert proc.returncode == CHAOS_EXIT_CODE
+        assert b"survived" not in proc.stdout
+
+    def test_crash_once_marker(self, monkeypatch, tmp_path):
+        # With a once-dir, the first call writes a marker (and would
+        # exit); a pre-existing marker makes the call a no-op.
+        marker = tmp_path / "crashed-7"
+        marker.touch()
+        monkeypatch.setenv(CHAOS_KILL_ENV, "7")
+        monkeypatch.setenv(CHAOS_ONCE_DIR_ENV, str(tmp_path))
+        chaos_point(7)  # marker exists: survives
+
+
+class TestInjectedWorkerKills:
+    def test_supervised_run_salvages_chaos_kill(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_KILL_ENV, "1")
+        out = run_tasks(
+            synthetic_point, _selftest_tasks(n=4), workers=2,
+            label="point", salvage=True,
+        )
+        assert [o.ok for o in out] == [True, False, True, True]
+        assert "exit code" in out[1].error
+
+    def test_scenario_crash_retry(self, tmp_path):
+        baseline = run_tasks(synthetic_point, _selftest_tasks(), workers=2)
+        _scenario_crash_retry(str(tmp_path), baseline)
+
+    def test_scenario_crash_resume_bit_identity(self, tmp_path):
+        baseline = run_tasks(synthetic_point, _selftest_tasks(), workers=2)
+        _scenario_crash_resume(str(tmp_path), baseline)
+
+    def test_selftest_tasks_deterministic(self):
+        assert _selftest_tasks() == _selftest_tasks()
+        a = run_tasks(synthetic_point, _selftest_tasks(), workers=1)
+        b = run_tasks(synthetic_point, _selftest_tasks(), workers=3)
+        assert a == b

@@ -1,0 +1,320 @@
+"""Tests for the supervised executor: retries, timeouts, salvage, errors."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.parallel import (
+    ParallelTaskError,
+    RetryPolicy,
+    TaskOutcome,
+    derive_seed,
+    run_tasks,
+    supervision_stats,
+)
+from repro.experiments.store import RunJournal
+
+
+def square(x):
+    return x * x
+
+
+def fail_on(x, bad):
+    if x == bad:
+        raise ValueError(f"poisoned task {x}")
+    return x
+
+
+def fail_until_marker(x, marker_dir):
+    """Fail until a marker file exists for x, creating it on first call.
+
+    Gives a task that fails exactly once and succeeds on retry, without
+    any shared in-process state (attempts run in separate processes).
+    """
+    marker = os.path.join(marker_dir, f"seen-{x}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return x * 10
+    os.close(fd)
+    raise RuntimeError(f"transient failure for {x}")
+
+
+def sleep_forever(x):
+    time.sleep(60.0)
+    return x
+
+
+def crash_hard(x):
+    os._exit(41)
+
+
+def crash_on(x, bad):
+    if x == bad:
+        os._exit(41)
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _reset_stats():
+    supervision_stats().reset()
+    yield
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_delay_is_deterministic_in_seed(self):
+        p = RetryPolicy(retries=3, backoff=0.1)
+        assert p.delay(42, 5, 1) == p.delay(42, 5, 1)
+        assert p.delay(42, 5, 1) != p.delay(42, 5, 2)
+        assert p.delay(42, 5, 1) != p.delay(42, 6, 1)
+        assert p.delay(42, 5, 1) != p.delay(43, 5, 1)
+
+    def test_delay_grows_and_caps(self):
+        p = RetryPolicy(retries=10, backoff=0.1, backoff_factor=2.0,
+                        max_backoff=0.4, jitter=0.0)
+        assert p.delay(0, 0, 1) == pytest.approx(0.1)
+        assert p.delay(0, 0, 2) == pytest.approx(0.2)
+        assert p.delay(0, 0, 4) == pytest.approx(0.4)  # capped
+        assert p.delay(0, 0, 8) == pytest.approx(0.4)
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(retries=1, backoff=0.1, jitter=0.5)
+        for attempt in range(1, 6):
+            base = min(p.max_backoff, 0.1 * 2.0 ** (attempt - 1))
+            d = p.delay(7, 0, attempt)
+            assert base <= d <= base * 1.5  # base .. base * (1 + jitter)
+
+
+class TestSalvage:
+    def test_outcome_envelopes_in_task_order(self):
+        out = run_tasks(fail_on, [(i, 2) for i in range(5)], workers=2,
+                        salvage=True, label="cell")
+        assert [o.index for o in out] == list(range(5))
+        assert all(isinstance(o, TaskOutcome) for o in out)
+        assert [o.ok for o in out] == [True, True, False, True, True]
+        bad = out[2]
+        assert bad.status == "failed"
+        assert "poisoned task 2" in bad.error
+        assert "ValueError" in bad.traceback
+        assert bad.attempts == 1 and bad.retried == 0
+
+    def test_salvage_serial_matches_parallel(self):
+        serial = run_tasks(square, [(i,) for i in range(6)], workers=1, salvage=True)
+        par = run_tasks(square, [(i,) for i in range(6)], workers=3, salvage=True)
+        assert [o.result for o in serial] == [o.result for o in par]
+
+    def test_worker_crash_is_one_failure_not_the_batch(self):
+        out = run_tasks(crash_on, [(i, 2) for i in range(5)], workers=2,
+                        salvage=True)
+        assert [o.ok for o in out] == [True, True, False, True, True]
+        assert [o.result for o in out if o.ok] == [0, 1, 3, 4]
+        assert "exit code 41" in out[2].error
+
+    def test_crash_reports_exit_code(self):
+        out = run_tasks(crash_hard, [(0,), (1,)], workers=2, salvage=True)
+        assert all(not o.ok for o in out)
+        assert "exit code 41" in out[0].error
+        assert supervision_stats().crashes == 2
+
+    def test_salvage_counts(self):
+        run_tasks(fail_on, [(i, 1) for i in range(3)], workers=2, salvage=True)
+        stats = supervision_stats()
+        assert stats.completed == 2
+        assert stats.failures == 1
+        assert stats.salvaged == 1
+
+
+class TestRetries:
+    def test_transient_failure_recovers(self, tmp_path):
+        out = run_tasks(
+            fail_until_marker, [(i, str(tmp_path)) for i in range(3)],
+            workers=2, retries=2, salvage=True, base_seed=9,
+        )
+        assert all(o.ok for o in out)
+        assert [o.result for o in out] == [0, 10, 20]
+        assert all(o.retried == 1 for o in out)
+        assert supervision_stats().retries == 3
+
+    def test_transient_failure_recovers_serial(self, tmp_path):
+        out = run_tasks(
+            fail_until_marker, [(i, str(tmp_path)) for i in range(3)],
+            workers=1, retries=1, salvage=True,
+        )
+        assert all(o.ok and o.retried == 1 for o in out)
+
+    def test_permanent_failure_exhausts_attempts(self):
+        out = run_tasks(fail_on, [(2, 2), (3, 2)], workers=2, retries=2,
+                        salvage=True)
+        assert out[0].status == "failed"
+        assert out[0].attempts == 3
+        assert out[1].ok
+
+    def test_retry_never_changes_a_successful_result(self, tmp_path):
+        baseline = run_tasks(square, [(i,) for i in range(4)], workers=2)
+        out = run_tasks(square, [(i,) for i in range(4)], workers=2,
+                        retries=3, salvage=True, base_seed=123)
+        assert [o.result for o in out] == baseline
+
+
+class TestTimeout:
+    def test_stalled_task_terminated(self):
+        t0 = time.monotonic()
+        out = run_tasks(sleep_forever, [(0,), (1,)], workers=2,
+                        timeout=0.3, salvage=True)
+        assert all(o.status == "timed-out" for o in out)
+        assert "timeout" in out[0].error
+        assert time.monotonic() - t0 < 30.0
+        assert supervision_stats().timeouts == 2
+
+    def test_timeout_fail_fast_raises(self):
+        with pytest.raises(ParallelTaskError, match="timed out"):
+            run_tasks(sleep_forever, [(0,), (1,)], workers=2, timeout=0.3)
+
+    def test_serial_timeout_warns_and_skips_enforcement(self):
+        with pytest.warns(RuntimeWarning, match="not enforced"):
+            out = run_tasks(square, [(2,), (3,)], workers=1,
+                            timeout=0.001, salvage=True)
+        assert [o.result for o in out] == [4, 9]
+
+
+class TestEnrichedErrors:
+    def test_error_names_args_and_seed(self):
+        with pytest.raises(ParallelTaskError) as ei:
+            run_tasks(fail_on, [(i, 2) for i in range(5)], workers=2,
+                      retries=1, label="cell", base_seed=2021)
+        msg = str(ei.value)
+        assert "cell #2" in msg
+        assert "(args=(2, 2)" in msg
+        assert f"seed=derive_seed(2021, ...)={derive_seed(2021, 2)}" in msg
+        assert "after 2 attempt(s)" in msg
+        assert "poisoned task 2" in msg
+        assert ei.value.task_index == 2
+        assert ei.value.seed == derive_seed(2021, 2)
+
+    def test_legacy_pool_error_names_seed_too(self):
+        # The plain (unsupervised) path carries the same context.
+        with pytest.raises(ParallelTaskError, match=r"cell #2 .*seed="):
+            run_tasks(fail_on, [(i, 2) for i in range(5)], workers=2,
+                      label="cell", base_seed=7)
+
+    def test_long_args_truncated(self):
+        big = "x" * 10_000
+        out = run_tasks(fail_on, [(big, big)], workers=2, salvage=True)
+        assert len(out[0].args_repr) <= 200
+
+
+class TestObservables:
+    def test_protocol_shape(self):
+        stats = supervision_stats()
+        obs = stats.observables()
+        assert set(obs) == {
+            "completed", "failures", "timeouts", "crashes", "retries",
+            "journal_hits", "salvaged",
+        }
+        assert all(callable(v) for v in obs.values())
+
+    def test_counters_reflect_runs(self):
+        run_tasks(square, [(i,) for i in range(3)], workers=2, salvage=True)
+        snap = supervision_stats().snapshot()
+        assert snap["completed"] == 3
+        assert snap["failures"] == 0
+
+    def test_registers_with_telemetry(self):
+        from repro.obs import Telemetry
+
+        tel = Telemetry(window=5.0)
+        tel.register_observables("parallel", supervision_stats())
+        run_tasks(square, [(1,), (2,)], workers=1, salvage=True)
+        assert tel.metrics.snapshot()["parallel.completed"] == 2
+
+
+class TestZeroOverheadOff:
+    def test_plain_call_takes_legacy_path(self, monkeypatch):
+        # The supervised machinery must not engage for a plain call:
+        # chaos injection hooks only exist on the supervised path, so a
+        # kill-targeted plain run completes untouched.
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "0,1")
+        assert run_tasks(square, [(0,), (1,)], workers=1) == [0, 1]
+        assert run_tasks(square, [(0,), (1,)], workers=2) == [0, 1]
+
+    def test_supervised_results_match_plain(self):
+        tasks = [(i,) for i in range(7)]
+        plain = run_tasks(square, tasks, workers=3)
+        supervised = run_tasks(square, tasks, workers=3, retries=2,
+                               timeout=60.0, base_seed=5)
+        assert supervised == plain
+
+
+_SIGINT_CHILD = """
+import os, sys, time
+sys.path.insert(0, {src!r})
+from repro.parallel import run_tasks
+from repro.parallel.chaos import beacon_point
+from repro.experiments.store import RunJournal
+
+tasks = [(i, 5.0 + i, 0.4, {beacons!r}) for i in range(6)]
+with RunJournal({journal!r}, scope="ki-test") as j:
+    run_tasks(beacon_point, tasks, workers=2, label="point", journal=j)
+print("FINISHED-UNINTERRUPTED")
+"""
+
+
+class TestKeyboardInterrupt:
+    def test_fanout_interrupt_is_graceful_and_resumable(self, tmp_path):
+        """SIGINT mid-fan-out: clean shutdown, no orphans, resumable journal."""
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        journal = str(tmp_path / "ki.journal")
+        beacons = tmp_path / "beacons"
+        beacons.mkdir()
+        child = subprocess.Popen(
+            [sys.executable, "-c", _SIGINT_CHILD.format(
+                src=os.path.abspath(src), beacons=str(beacons), journal=journal
+            )],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        # Wait until at least one task result has been journaled.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(journal):
+                with open(journal, "rb") as fh:
+                    if fh.read().count(b"\n") >= 2:
+                        break
+            assert child.poll() is None, "child finished before interrupt"
+            time.sleep(0.02)
+        child.send_signal(signal.SIGINT)
+        out, err = child.communicate(timeout=30)
+        assert child.returncode != 0
+        assert b"FINISHED-UNINTERRUPTED" not in out
+        assert b"KeyboardInterrupt" in err
+        # No orphaned worker processes: every beacon PID must be gone.
+        time.sleep(0.2)
+        pids = [int(p.name.split("-", 1)[1]) for p in beacons.iterdir()]
+        assert pids, "no workers ever started"
+        for pid in set(pids):
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        # The journal is mid-run but valid, and resuming completes the
+        # run bit-identically to an uninterrupted one.
+        from repro.parallel.chaos import beacon_point, synthetic_point
+
+        tasks = [(i, 5.0 + i, 0.4, str(beacons)) for i in range(6)]
+        with RunJournal(journal, scope="ki-test") as j:
+            assert 0 < len(j)
+            resumed = run_tasks(beacon_point, tasks, workers=2,
+                                label="point", journal=j)
+        assert resumed == [synthetic_point(i, 5.0 + i) for i in range(6)]

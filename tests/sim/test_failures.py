@@ -165,21 +165,67 @@ class TestForcedOutages:
         assert not sites[0].station.failed  # clamped to stop_time
         assert inj.availability("s0", horizon=100.0) == pytest.approx(0.9)
 
-    def test_overlapping_windows_collapse(self):
+    def test_overlapping_windows_rejected(self):
+        # Overlapping windows used to silently collapse into one outage
+        # cycle; scheduling must now fail loudly instead.
         sim, sites, _ = self._sim_with_sites(n=1)
         inj = FailureInjector(sim, [sites[0].station], None, None, 200.0)
         inj.schedule_outage(50.0, 20.0)
-        inj.schedule_outage(60.0, 5.0)  # already down: no second cycle
+        with pytest.raises(ValueError, match="overlaps"):
+            inj.schedule_outage(60.0, 5.0)  # inside [50, 70)
+        with pytest.raises(ValueError, match="overlaps"):
+            inj.schedule_outage(70.0, 5.0)  # touching counts as overlap
+        with pytest.raises(ValueError, match="overlaps"):
+            inj.schedule_outage(40.0, 100.0)  # envelops [50, 70)
+        # The rejected windows left no state behind: the original window
+        # injects exactly once with its own availability.
         sim.run()
         assert inj.failures == 1
         assert inj.availability("s0", horizon=200.0) == pytest.approx(0.9)
 
-    def test_window_past_stop_time_is_ignored(self):
+    def test_disjoint_windows_each_inject(self):
+        sim, sites, _ = self._sim_with_sites(n=1)
+        inj = FailureInjector(sim, [sites[0].station], None, None, 400.0)
+        inj.schedule_outage(50.0, 20.0)
+        inj.schedule_outage(100.0, 20.0)  # disjoint: fine
+        sim.run()
+        assert inj.failures == 2
+        assert inj.availability("s0", horizon=400.0) == pytest.approx(0.9)
+
+    def test_window_past_stop_time_rejected(self):
+        # Used to be silently dropped (failures == 0, availability 1.0
+        # despite a scheduled outage); must now fail at scheduling time.
         sim, sites, _ = self._sim_with_sites(n=1)
         inj = FailureInjector(sim, [sites[0].station], None, None, 100.0)
-        inj.schedule_outage(150.0, 10.0)
+        with pytest.raises(ValueError, match="stop_time"):
+            inj.schedule_outage(150.0, 10.0)
         sim.run()
         assert inj.failures == 0
+
+    def test_correlated_multi_site_window_overlap_checked_per_station(self):
+        # Regression for correlated windows: overlap detection is per
+        # station, so a second window is rejected iff it shares a station
+        # with an earlier one — windows on disjoint station sets at the
+        # same times are legitimate (independent incidents).
+        sim, sites, _ = self._sim_with_sites(n=3)
+        stations = [s.station for s in sites]
+        inj = FailureInjector(sim, stations, None, None, 400.0)
+        inj.schedule_outage(50.0, 25.0, [stations[0], stations[1]])
+        # Same times on the untouched third site: allowed.
+        inj.schedule_outage(50.0, 25.0, [stations[2]])
+        # Overlaps s1 even though s2 is free: rejected atomically
+        # (nothing scheduled on either station).
+        with pytest.raises(ValueError, match="'s1'"):
+            inj.schedule_outage(60.0, 30.0, [stations[1], stations[2]])
+        # A later disjoint correlated window on the same pair: allowed.
+        inj.schedule_outage(200.0, 10.0, [stations[0], stations[1]])
+        sim.run()
+        assert inj.failures == 5  # 2 + 1 + 0 + 2
+        assert inj.availability("s2", horizon=400.0) == pytest.approx(1 - 25 / 400)
+        for name in ("s0", "s1"):
+            assert inj.availability(name, horizon=400.0) == pytest.approx(
+                1 - 35 / 400
+            )
 
     def test_validation(self):
         sim, sites, _ = self._sim_with_sites(n=1)
