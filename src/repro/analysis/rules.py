@@ -1,4 +1,4 @@
-"""The project-specific rule pack (``RPR001`` … ``RPR009``).
+"""The project-specific rule pack (``RPR001`` … ``RPR010``).
 
 Each rule encodes one invariant the reproduction's results rest on but
 no generic linter knows about — determinism of the simulation substrate,
@@ -570,3 +570,110 @@ class AtomicStoreWriteRule(Rule):
                     "whole file non-durably; append records through "
                     "fsync_append instead",
                 )
+
+
+@rule
+class CampaignLoaderSafetyRule(Rule):
+    """RPR010: campaign loading is safe and expansion order-stable.
+
+    Campaign files are untrusted repo inputs that get cross-multiplied
+    into hundreds of seeded scenarios, so the loading path carries two
+    invariants at once.  *Safety*: YAML must go through the safe loader
+    (``yaml.load``/``compose`` without an explicit ``SafeLoader`` — or
+    via ``full_load``/``unsafe_load``/``FullLoader`` — can construct
+    arbitrary Python objects from document tags), and ``eval``/``exec``/
+    ``pickle.loads``/``marshal.loads`` have no business near scenario
+    text.  *Determinism*: matrix expansion and scenario ordering must
+    not iterate unordered collections — a set-driven expansion reorders
+    scenarios (and their name-derived seeds' positions) with
+    ``PYTHONHASHSEED``, breaking the order-stability the round-trip
+    tests pin.
+    """
+
+    code = "RPR010"
+    summary = "unsafe loader or unstable iteration in campaign scenario code"
+
+    _YAML_NEEDS_LOADER = {"load", "load_all", "compose", "compose_all", "parse"}
+    _YAML_ALWAYS_UNSAFE = {"full_load", "full_load_all", "unsafe_load", "unsafe_load_all"}
+    _SAFE_LOADERS = {"SafeLoader", "CSafeLoader", "BaseLoader", "CBaseLoader"}
+    _EVAL_LIKE = {"eval", "exec"}
+    _UNPICKLERS = {"pickle", "cPickle", "marshal"}
+
+    def _loader_arg(self, node: ast.Call) -> ast.AST | None:
+        for kw in node.keywords:
+            if kw.arg == "Loader":
+                return kw.value
+        if len(node.args) >= 2:
+            return node.args[1]
+        return None
+
+    def _is_yaml_module(self, node: ast.AST) -> bool:
+        root = _root_name(node)
+        return root is not None and "yaml" in root.lower()
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and _terminal_name(node.func) in ("set", "frozenset")
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.campaign"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+                continue
+            iters: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters = [node.iter]
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        ctx, it,
+                        "iterating a set while loading/expanding scenarios: "
+                        "order varies with hashing, so expansion (and seed "
+                        "positions) would differ between runs; iterate a "
+                        "list/tuple or sorted(...)",
+                    )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        terminal = _terminal_name(node.func)
+        dotted = _dotted(node.func)
+        if terminal in self._YAML_ALWAYS_UNSAFE and self._is_yaml_module(node.func):
+            yield self.finding(
+                ctx, node,
+                f"yaml.{terminal} constructs arbitrary Python objects from "
+                "document tags; campaign files must be read with the safe "
+                "loader (yaml.safe_load or Loader=yaml.SafeLoader)",
+            )
+        elif terminal in self._YAML_NEEDS_LOADER and self._is_yaml_module(node.func):
+            loader = self._loader_arg(node)
+            loader_name = None if loader is None else _terminal_name(loader)
+            if loader_name not in self._SAFE_LOADERS:
+                yield self.finding(
+                    ctx, node,
+                    f"yaml.{terminal} without an explicit SafeLoader: pass "
+                    "Loader=yaml.SafeLoader (or use yaml.safe_load) so "
+                    "campaign files can never construct Python objects",
+                )
+        elif dotted in self._EVAL_LIKE:
+            yield self.finding(
+                ctx, node,
+                f"{dotted}() in campaign-loading code executes scenario "
+                "text; parse it declaratively instead",
+            )
+        elif (
+            terminal == "loads"
+            and (_root_name(node.func) or "") in self._UNPICKLERS
+        ):
+            yield self.finding(
+                ctx, node,
+                f"{_dotted(node.func)} deserializes arbitrary objects from "
+                "campaign input; scenario files are JSON/YAML data only",
+            )

@@ -1,0 +1,84 @@
+"""Declarative scenario campaigns (PR 7).
+
+Layers:
+
+* :mod:`repro.campaign.spec` — campaign/scenario schema, dependency-free
+  validation (field-path + line diagnostics, parse/schema/semantic exit
+  codes), deterministic ``matrix:`` expansion and per-scenario seed
+  derivation;
+* :mod:`repro.campaign.loader` — YAML (line-tracked, safe-composed) and
+  JSON front-ends;
+* :mod:`repro.campaign.executor` — one scenario → one paired edge/cloud
+  simulation → flat metrics;
+* :mod:`repro.campaign.runner` — resource-governed supervised execution
+  with quarantine, salvage reports and journaled resume;
+* :mod:`repro.campaign.golden` — pinned expected summaries and the
+  tolerance-aware drift differ.
+
+See ``docs/campaigns.md`` for the file-format reference and workflow.
+"""
+
+from repro.campaign.executor import ScenarioRun, run_scenario
+from repro.campaign.golden import (
+    GoldenDrift,
+    diff_golden,
+    golden_summary,
+    load_golden,
+    write_golden,
+)
+from repro.campaign.loader import load_campaign, loads_campaign, yaml_available
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignStats,
+    QuarantineRecord,
+    campaign_stats,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    EXIT_OK,
+    EXIT_PARSE,
+    EXIT_SCHEMA,
+    EXIT_SEMANTIC,
+    BudgetSpec,
+    CampaignSpec,
+    CampaignValidationError,
+    GoldenTolerance,
+    OutageSpec,
+    ScenarioSpec,
+    ValidationIssue,
+    compile_campaign,
+    dump_campaign,
+    scenario_seed,
+)
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_PARSE",
+    "EXIT_SCHEMA",
+    "EXIT_SEMANTIC",
+    "BudgetSpec",
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignStats",
+    "CampaignValidationError",
+    "GoldenDrift",
+    "GoldenTolerance",
+    "OutageSpec",
+    "QuarantineRecord",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "ValidationIssue",
+    "campaign_stats",
+    "compile_campaign",
+    "diff_golden",
+    "dump_campaign",
+    "golden_summary",
+    "load_campaign",
+    "load_golden",
+    "loads_campaign",
+    "run_campaign",
+    "run_scenario",
+    "scenario_seed",
+    "write_golden",
+    "yaml_available",
+]

@@ -143,6 +143,91 @@ def _cmd_cutoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """``repro validate FILE...``: fail-fast campaign validation.
+
+    Exit codes: 0 valid, 3 parse error, 4 schema error, 5 semantic
+    error (2 stays argparse's usage-error code).  With several files the
+    first failing file's code wins; every file is still checked.
+    """
+    from repro.campaign import CampaignValidationError, load_campaign
+
+    rc = 0
+    for path in args.files:
+        try:
+            spec = load_campaign(path).require_valid()
+        except CampaignValidationError as exc:
+            print(exc, file=sys.stderr)
+            if rc == 0:
+                rc = exc.exit_code
+        else:
+            print(
+                f"{path}: OK — campaign {spec.name!r}, "
+                f"{len(spec.scenarios)} scenario(s), seed {spec.seed}"
+            )
+    return rc
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign FILE``: run a campaign under its budgets."""
+    import json
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignValidationError,
+        diff_golden,
+        load_campaign,
+        load_golden,
+        run_campaign,
+        write_golden,
+    )
+
+    try:
+        spec = load_campaign(args.file)
+        if args.strict:
+            spec.require_valid()
+    except CampaignValidationError as exc:
+        print(exc, file=sys.stderr)
+        return exc.exit_code
+
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    print(result.to_experiment_result().text)
+
+    if args.salvage_report:
+        report = Path(args.salvage_report)
+        report.write_text(
+            json.dumps(result.salvage_report(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote salvage report to {report}")
+
+    if args.update_golden:
+        write_golden(result, args.update_golden)
+        print(f"pinned golden summary to {args.update_golden}")
+        return 0
+    if args.golden:
+        try:
+            expected = load_golden(args.golden)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load golden summary: {exc}", file=sys.stderr)
+            return 1
+        drifts = diff_golden(result, expected, spec.tolerance)
+        if drifts:
+            print(
+                f"golden drift vs {args.golden}: {len(drifts)} divergence(s)",
+                file=sys.stderr,
+            )
+            for d in drifts:
+                print(f"  {d.render()}", file=sys.stderr)
+            return 1
+        print(f"golden: matches {args.golden} ({len(result.runs)} scenario(s))")
+    return 0
+
+
 class _TelemetrySession:
     """Scoped ``--telemetry`` enablement around one CLI command.
 
@@ -243,6 +328,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_cutoff(args)
     if args.command == "dump":
         return _cmd_dump(args, _sized_config(args))
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "report":
         from pathlib import Path
 
@@ -286,6 +375,61 @@ def main(argv: list[str] | None = None) -> int:
     dump.add_argument("--figures", default=None, help="comma-separated subset")
     dump.add_argument("--full", action="store_true", help="publication-sized run")
     _add_common_args(dump)
+    val = sub.add_parser(
+        "validate",
+        help="validate campaign files (exit 3=parse, 4=schema, 5=semantic)",
+    )
+    val.add_argument("files", nargs="+", metavar="FILE",
+                     help="campaign file(s), YAML or JSON")
+    camp = sub.add_parser(
+        "campaign",
+        help="run a declarative scenario campaign (repro.campaign)",
+    )
+    camp.add_argument("file", metavar="FILE", help="campaign file, YAML or JSON")
+    camp.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse to run if any scenario has semantic issues "
+        "(default: quarantine them and run the rest)",
+    )
+    camp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for scenario fan-out "
+        "(default $REPRO_WORKERS or 1; results bit-identical for any N)",
+    )
+    camp.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal scenario results to PATH for crash-safe resume",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="require --checkpoint to already exist (typo guard)",
+    )
+    camp.add_argument(
+        "--golden",
+        metavar="EXPECTED",
+        default=None,
+        help="diff the run against a pinned golden summary; exit 1 on "
+        "drift, naming the scenario, metric and delta",
+    )
+    camp.add_argument(
+        "--update-golden",
+        metavar="EXPECTED",
+        default=None,
+        help="pin this run's summary as the new golden file",
+    )
+    camp.add_argument(
+        "--salvage-report",
+        metavar="PATH",
+        default=None,
+        help="write the quarantine/salvage report as JSON to PATH",
+    )
     cut = sub.add_parser("cutoff", help="analytic inversion-cutoff query")
     cut.add_argument("--cloud-rtt", type=float, required=True, help="cloud RTT in ms")
     cut.add_argument("--edge-rtt", type=float, default=1.0, help="edge RTT in ms")

@@ -140,8 +140,11 @@ class RunJournal:
 
     # -- loading ---------------------------------------------------------
     def _load(self) -> None:
-        raw = self.path.read_bytes().decode("utf-8", errors="replace")
-        lines = raw.split("\n")
+        # Split the *bytes*, not decoded text: corruption diagnostics
+        # report the byte offset of the offending record, which must be
+        # usable with dd/xxd on the file as it sits on disk.
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
         # A complete journal ends with "\n", so the final split element
         # is empty; a non-empty tail is a record truncated by a crash
         # mid-append and is dropped (it was never durable).
@@ -149,10 +152,11 @@ class RunJournal:
         if not lines:
             return
         try:
-            header = json.loads(lines[0])
+            header = json.loads(lines[0].decode("utf-8", errors="replace"))
         except json.JSONDecodeError as exc:
             raise JournalCorruptError(
-                f"{self.path}: first line is not a journal header ({exc})"
+                f"{self.path}: first line (byte offset 0, {len(lines[0])} "
+                f"bytes) is not a journal header ({exc})"
             ) from exc
         if header.get("format") != JOURNAL_MAGIC:
             raise JournalCorruptError(
@@ -163,18 +167,23 @@ class RunJournal:
                 f"{self.path}: journal version {header.get('v')!r} != "
                 f"{JOURNAL_VERSION}; delete the file to start fresh"
             )
-        for n, line in enumerate(lines[1:], start=2):
-            if not line:
+        offset = len(lines[0]) + 1  # header line + its newline
+        for n, bline in enumerate(lines[1:], start=2):
+            if not bline:
+                offset += 1
                 continue
             try:
-                rec = json.loads(line)
+                rec = json.loads(bline.decode("utf-8", errors="replace"))
                 key, payload = rec["k"], rec["p"]
             except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 raise JournalCorruptError(
-                    f"{self.path}:{n}: corrupt journal record before the "
-                    f"final line ({exc}); refusing to resume"
+                    f"{self.path}: line {n}: corrupt journal record at byte "
+                    f"offset {offset} (spans bytes {offset}-"
+                    f"{offset + len(bline)}) before the final line ({exc}); "
+                    "refusing to resume"
                 ) from exc
             self._records[str(key)] = payload
+            offset += len(bline) + 1
 
     # -- the run_tasks journal protocol ----------------------------------
     def key(

@@ -24,7 +24,27 @@ from repro.analysis.invariants import checker_for_new_simulation
 from repro.obs.provider import current_telemetry
 from repro.parallel.seeding import seed_sequence, spawn_child
 
-__all__ = ["Simulation"]
+__all__ = ["EventBudgetExceeded", "Simulation"]
+
+
+class EventBudgetExceeded(RuntimeError):
+    """A run exhausted its event budget (``Simulation.run(max_events=)``).
+
+    Carries the budget and the virtual time reached so a campaign's
+    salvage report can say *where* a runaway scenario was stopped.  The
+    count of executed events is a deterministic function of the seed and
+    the model, so a scenario either always blows its budget or never
+    does — quarantine decisions are bit-identical across sequential and
+    parallel campaign runs.
+    """
+
+    def __init__(self, max_events: int, now: float):
+        super().__init__(
+            f"event budget of {max_events} events exhausted at virtual "
+            f"time {now:.6f}s; the scenario was stopped mid-run"
+        )
+        self.max_events = max_events
+        self.now = now
 
 
 class Simulation:
@@ -100,7 +120,7 @@ class Simulation:
             raise ValueError(f"cannot schedule at {time} < now ({self.now})")
         heapq.heappush(self._calendar, (time, next(self._seq), callback, args))
 
-    def run(self, until: float | None = None) -> float:
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events in time order.
 
         Parameters
@@ -108,6 +128,12 @@ class Simulation:
         until:
             Stop once the clock would pass this virtual time (the clock is
             left exactly at ``until``).  ``None`` drains the calendar.
+        max_events:
+            Event budget: raise :class:`EventBudgetExceeded` after this
+            many events have executed (``None`` = unbounded, the default
+            hot path).  The budget is a resource governor for campaign
+            runners — a runaway scenario is stopped deterministically
+            instead of stalling a whole sweep.
 
         Returns
         -------
@@ -116,6 +142,8 @@ class Simulation:
         """
         if self._running:
             raise RuntimeError("simulation is already running (re-entrant run())")
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self._running = True
         self._stopped = False
         # Hot loop: localize the calendar and heappop (CPython attribute
@@ -127,7 +155,32 @@ class Simulation:
         pop = heapq.heappop
         invariants = self.invariants
         try:
-            if invariants is None:
+            if max_events is not None:
+                # Budgeted dispatch loop (campaign resource governor):
+                # kept separate so the unbudgeted paths below stay
+                # counter-free.  Event counts are deterministic per seed,
+                # so budget exhaustion is bit-identical across runs.
+                executed = 0
+                while calendar and not self._stopped:
+                    head = calendar[0]
+                    time = head[0]
+                    if until is not None and time > until:
+                        self.now = until
+                        break
+                    if executed >= max_events:
+                        raise EventBudgetExceeded(max_events, self.now)
+                    pop(calendar)
+                    if invariants is not None:
+                        invariants.check_event_time(time, self.now)
+                    self.now = time
+                    head[2](*head[3])
+                    if invariants is not None:
+                        invariants.check_handler_left_clock(time, self.now)
+                    executed += 1
+                else:
+                    if until is not None and not self._stopped:
+                        self.now = max(self.now, until)
+            elif invariants is None:
                 while calendar and not self._stopped:
                     head = calendar[0]
                     time = head[0]

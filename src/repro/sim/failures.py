@@ -99,32 +99,49 @@ class FailureInjector:
         outage plan fails loudly at scheduling time instead of quietly
         computing an availability it never injected.
         """
+        targets = self.stations if stations is None else list(stations)
+        names = [st.name for st in targets]
         if duration <= 0:
-            raise ValueError(f"duration must be > 0, got {duration}")
+            raise ValueError(
+                f"outage duration must be > 0, got {duration} "
+                f"(window starting at {start} on stations {names})"
+            )
         if start < self.sim.now:
-            raise ValueError(f"outage start {start} is in the past (now={self.sim.now})")
+            raise ValueError(
+                f"outage start {start} is in the past (now={self.sim.now}) "
+                f"for window [{start}, {start + duration}) on stations {names}"
+            )
         if start >= self.stop_time:
             raise ValueError(
                 f"outage start {start} is at or past stop_time "
-                f"{self.stop_time}; it would never be injected"
+                f"{self.stop_time} for window [{start}, {start + duration}) "
+                f"on stations {names}; it would never be injected"
             )
-        targets = self.stations if stations is None else list(stations)
         for st in targets:
             if st.name not in self._downtime:
                 raise KeyError(f"station {st.name!r} is not managed by this injector")
         end = start + duration
-        for st in targets:
-            for s0, e0 in self._windows[st.name]:
-                # Touching counts as overlap: same-timestamp fail/repair
-                # events would interleave in insertion order and the
-                # second window's fail could land before the first's
-                # repair, silently collapsing both.
-                if start <= e0 and s0 <= end:
-                    raise ValueError(
-                        f"outage window [{start}, {end}) overlaps scheduled "
-                        f"window [{s0}, {e0}) on station {st.name!r}; forced "
-                        "windows on one station must be disjoint"
-                    )
+        # Collect every conflict across every target station before
+        # raising: a correlated multi-site window that clashes on three
+        # stations should name all three, not fail one at a time.
+        conflicts = [
+            f"station {st.name!r}: new window [{start}, {end}) overlaps "
+            f"scheduled window [{s0}, {e0})"
+            for st in targets
+            for s0, e0 in self._windows[st.name]
+            # Touching counts as overlap: same-timestamp fail/repair
+            # events would interleave in insertion order and the
+            # second window's fail could land before the first's
+            # repair, silently collapsing both.
+            if start <= e0 and s0 <= end
+        ]
+        if conflicts:
+            raise ValueError(
+                f"outage window [{start}, {end}) conflicts on "
+                f"{len(conflicts)} station(s) — "
+                + "; ".join(conflicts)
+                + "; forced windows on one station must be disjoint"
+            )
         repair_at = min(end, self.stop_time)
         for st in targets:
             self._windows[st.name].append((start, end))

@@ -362,3 +362,78 @@ class TestVirtualTimeMutationRule:
                 return deadline - sim.now
             """)
         assert findings == []
+
+
+class TestCampaignLoaderSafetyRule:
+    def test_flags_yaml_load_without_safe_loader(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            import yaml
+
+            def read(text):
+                return yaml.load(text)
+            """)
+        assert codes(findings) == ["RPR010"]
+        assert "SafeLoader" in findings[0].message
+
+    def test_flags_yaml_load_with_full_loader(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            import yaml
+
+            def read(text):
+                return yaml.load(text, Loader=yaml.FullLoader)
+            """)
+        assert codes(findings) == ["RPR010"]
+
+    def test_flags_full_load_and_unsafe_load(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            import yaml
+
+            def read(text):
+                a = yaml.full_load(text)
+                b = yaml.unsafe_load(text)
+                return a, b
+            """)
+        assert codes(findings) == ["RPR010", "RPR010"]
+
+    def test_flags_eval_and_pickle_loads(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            import pickle
+
+            def expand(expr, blob):
+                return eval(expr), pickle.loads(blob)
+            """)
+        assert codes(findings) == ["RPR010", "RPR010"]
+
+    def test_flags_set_iteration_in_expansion(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            def expand(axes):
+                return [axis for axis in set(axes)]
+            """)
+        assert codes(findings) == ["RPR010"]
+        assert "order varies" in findings[0].message
+
+    def test_safe_compose_and_sorted_iteration_pass(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/good.py", """\
+            import json
+            import yaml
+
+            def read(text):
+                node = yaml.compose(text, Loader=yaml.SafeLoader)
+                data = yaml.safe_load(text)
+                return node, data, json.loads(text)
+
+            def expand(axes):
+                return [a for a in sorted(set(axes))]
+            """)
+        assert findings == []
+
+    def test_unsafe_yaml_fine_outside_campaign(self, tmp_path):
+        # The rule is scoped: other packages are governed by their own
+        # rules, not the campaign loading contract.
+        findings = check_source(tmp_path, "repro/experiments/other.py", """\
+            import yaml
+
+            def read(text):
+                return yaml.load(text)
+            """)
+        assert findings == []

@@ -1,0 +1,184 @@
+"""End-to-end chaos drill for declarative campaigns.
+
+The acceptance scenario for PR 7: a 51-scenario campaign carrying one
+semantically-broken config, one event-budget hog and one chaos-killed
+worker must finish with the two bad scenarios quarantined in the
+salvage report and every other scenario bit-identical to an uninjected
+sequential run; a campaign hard-killed mid-run must resume from its
+checkpoint to an identical :class:`CampaignResult`; and the pinned
+golden matrix must pass ``repro campaign --golden`` while a perturbed
+expectation fails naming scenario, metric and delta.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import compile_campaign, run_campaign
+from repro.parallel.chaos import (
+    CHAOS_EXIT_CODE,
+    CHAOS_KILL_ENV,
+    CHAOS_ONCE_DIR_ENV,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+REPO = str(Path(__file__).resolve().parents[2])
+
+#: Runnable-order index of the scenario whose worker gets chaos-killed.
+KILLED_INDEX = 10
+
+
+def chaos_doc():
+    """51 scenarios: 1 good + 1 invalid + 1 budget hog + 48 matrix."""
+    utils = [0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85]
+    return {
+        "campaign": "chaos-drill",
+        "seed": 4242,
+        "defaults": {"duration": 2.0, "sites": 1},
+        "scenarios": [
+            {"name": "plain", "utilization": 0.5},
+            # Semantically malformed: unstable open-loop rate with no
+            # bound anywhere — quarantined as invalid-config, never run.
+            {"name": "malformed", "rate_per_site": 99.0},
+            # Valid but hungry: ~12k arrivals, far over the event budget.
+            {
+                "name": "hog",
+                "rate_per_site": 40.0,
+                "duration": 300.0,
+                "queue_capacity": 4,
+            },
+        ],
+        "matrix": [
+            {
+                "name": "grid",
+                "axes": {
+                    "utilization": utils,
+                    "rtt": ["nearby", "typical", "distant"],
+                    "arrival": ["poisson", "deterministic"],
+                },
+            }
+        ],
+        "budgets": {"max_events": 6000, "retries": 1},
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Uninjected sequential run of the drill campaign."""
+    for var in (CHAOS_KILL_ENV, CHAOS_ONCE_DIR_ENV):
+        assert var not in os.environ
+    return run_campaign(compile_campaign(chaos_doc()), workers=1)
+
+
+class TestChaosCampaign:
+    def test_campaign_is_big_enough(self):
+        spec = compile_campaign(chaos_doc())
+        assert len(spec.scenarios) >= 50
+
+    def test_baseline_quarantines_only_the_bad_two(self, baseline):
+        assert {(q.name, q.reason) for q in baseline.quarantined} == {
+            ("malformed", "invalid-config"),
+            ("hog", "failed"),
+        }
+        assert len(baseline.runs) == 49
+        by_name = {q.name: q for q in baseline.quarantined}
+        assert "diverges" in by_name["malformed"].detail
+        assert "event budget" in by_name["hog"].detail
+
+    def test_injected_crash_recovers_bit_identically(
+        self, baseline, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(CHAOS_KILL_ENV, str(KILLED_INDEX))
+        monkeypatch.setenv(CHAOS_ONCE_DIR_ENV, str(tmp_path))
+        chaos = run_campaign(compile_campaign(chaos_doc()), workers=2)
+        # The targeted attempt died exactly once ...
+        killed = chaos.outcomes[KILLED_INDEX]
+        assert killed.ok and killed.attempts == 2
+        assert (tmp_path / f"crashed-{KILLED_INDEX}").exists()
+        # ... and nothing observable differs from the uninjected run.
+        assert chaos.runs == baseline.runs
+        assert {(q.name, q.reason) for q in chaos.quarantined} == {
+            (q.name, q.reason) for q in baseline.quarantined
+        }
+        assert chaos.fingerprint() == baseline.fingerprint()
+
+    def test_salvage_report_names_the_bad_scenarios(self, baseline):
+        report = baseline.salvage_report()
+        assert report["succeeded"] == 49
+        assert {q["name"] for q in report["quarantined"]} == {"malformed", "hog"}
+
+
+class TestKillResume:
+    def test_hard_kill_then_resume_is_identical(self, baseline, tmp_path):
+        camp = tmp_path / "drill.json"
+        camp.write_text(json.dumps(chaos_doc()))
+        journal = tmp_path / "drill.journal"
+        salvage = tmp_path / "salvage.json"
+        base_env = {
+            k: v
+            for k, v in os.environ.items()
+            if k not in (CHAOS_KILL_ENV, CHAOS_ONCE_DIR_ENV)
+        }
+        base_env["PYTHONPATH"] = SRC
+        cli = [sys.executable, "-m", "repro", "campaign", str(camp),
+               "--workers", "1", "--checkpoint", str(journal)]
+
+        # First run dies mid-campaign via os._exit — the serial loop's
+        # chaos point, indistinguishable from a SIGKILL at task 30.
+        proc = subprocess.run(
+            cli, env=dict(base_env, **{CHAOS_KILL_ENV: "30"}),
+            capture_output=True, text=True, cwd=REPO, timeout=300,
+        )
+        assert proc.returncode == CHAOS_EXIT_CODE
+        journal_lines = journal.read_text().splitlines()
+        assert len(journal_lines) > 10  # header + a real completed prefix
+
+        # Resume replays the journaled prefix and finishes the rest.
+        proc = subprocess.run(
+            cli + ["--resume", "--salvage-report", str(salvage)],
+            env=base_env, capture_output=True, text=True, cwd=REPO,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(salvage.read_text())
+        assert report["fingerprint"] == baseline.fingerprint()
+        assert report["succeeded"] == 49
+        assert {q["name"] for q in report["quarantined"]} == {"malformed", "hog"}
+
+
+class TestGoldenGateCLI:
+    CAMPAIGN = os.path.join("scenarios", "golden", "campaign.yaml")
+    EXPECTED = os.path.join("scenarios", "golden", "expected.json")
+
+    @pytest.fixture(autouse=True)
+    def _needs_yaml(self):
+        pytest.importorskip("yaml")  # the pinned matrix is a YAML file
+
+    def _run(self, golden_path):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "campaign", self.CAMPAIGN,
+             "--golden", str(golden_path)],
+            env=env, capture_output=True, text=True, cwd=REPO, timeout=300,
+        )
+
+    def test_pinned_matrix_passes(self):
+        proc = self._run(self.EXPECTED)
+        assert proc.returncode == 0, proc.stderr
+        assert "matches" in proc.stdout
+
+    def test_perturbed_expectation_fails_naming_the_drift(self, tmp_path):
+        doc = json.loads(Path(REPO, self.EXPECTED).read_text())
+        name = sorted(doc["scenarios"])[0]
+        doc["scenarios"][name]["metrics"]["edge_p95_ms"] += 1.0
+        perturbed = tmp_path / "expected.json"
+        perturbed.write_text(json.dumps(doc))
+        proc = self._run(perturbed)
+        assert proc.returncode == 1
+        assert name in proc.stderr
+        assert "edge_p95_ms" in proc.stderr
+        assert "delta" in proc.stderr

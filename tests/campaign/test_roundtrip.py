@@ -1,0 +1,132 @@
+"""Property-style round-trip tests: load → expand → dump → load.
+
+The campaign contract the golden matrix rests on: expansion is
+order-stable, dumps are canonical, and per-scenario seeds are
+bit-identical across re-loads, re-dumps and worker counts.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    compile_campaign,
+    dump_campaign,
+    loads_campaign,
+    run_campaign,
+)
+from repro.campaign.executor import run_scenario
+
+#: A deliberately gnarly campaign touching every axis family.
+DOC = {
+    "campaign": "roundtrip",
+    "seed": 77,
+    "description": "round-trip property fixture",
+    "defaults": {"duration": 6.0, "sites": 2},
+    "scenarios": [
+        {"name": "explicit", "rtt": "nearby", "utilization": 0.45},
+        {
+            "name": "complex",
+            "cloud_rtt_ms": 33.5,
+            "edge_rtt_ms": 2.0,
+            "arrival": "bursty",
+            "arrival_cv2": 5.0,
+            "service_cv2": 0.5,
+            "rate_per_site": 4.0,
+            "discipline": "codel",
+            "codel_target": 0.3,
+            "queue_capacity": 16,
+            "admission": "occupancy",
+            "admission_limit": 4.0,
+            "resilience": "retry",
+            "client_timeout": 1.0,
+            "deadline": 4.0,
+            "max_attempts": 2,
+            "failures": [
+                {"start": 1.0, "duration": 0.5},
+                {"start": 3.0, "duration": 0.5, "sites": [1]},
+            ],
+        },
+    ],
+    "matrix": [
+        {
+            "name": "grid",
+            "axes": {
+                "rtt": ["typical", "distant"],
+                "utilization": [0.4, 0.7],
+                "arrival": ["poisson", "deterministic"],
+            },
+            "base": {"machines_per_site": 1},
+        }
+    ],
+    "budgets": {"timeout": 60.0, "max_events": 500000, "retries": 2},
+    "golden": {"rtol": 1e-8, "atol": 1e-10},
+}
+
+
+def fingerprint(spec):
+    """Order + identity + seeds, the properties that must round-trip."""
+    return [(s.name, s.seed, s) for s in spec.scenarios]
+
+
+class TestRoundTrip:
+    def test_dump_load_reproduces_expansion_exactly(self):
+        spec = compile_campaign(json.loads(json.dumps(DOC)))
+        dumped = dump_campaign(spec)
+        respec = compile_campaign(json.loads(json.dumps(dumped)))
+        assert fingerprint(respec) == fingerprint(spec)
+        assert respec.budgets == spec.budgets
+        assert respec.tolerance == spec.tolerance
+        # And the dump is a fixed point: dump(load(dump(x))) == dump(x).
+        assert dump_campaign(respec) == dumped
+
+    def test_dump_survives_yaml_round_trip(self):
+        yaml = pytest.importorskip("yaml")
+        spec = compile_campaign(json.loads(json.dumps(DOC)))
+        text = yaml.safe_dump(dump_campaign(spec), sort_keys=False)
+        respec = loads_campaign(text, source="dumped.yaml")
+        assert fingerprint(respec) == fingerprint(spec)
+
+    def test_expansion_order_stable_across_reloads(self):
+        names = None
+        for _ in range(3):
+            spec = compile_campaign(json.loads(json.dumps(DOC)))
+            got = [s.name for s in spec.scenarios]
+            if names is None:
+                names = got
+            assert got == names
+        assert len(names) == 2 + 2 * 2 * 2
+
+    def test_matrix_block_order_does_not_change_seeds(self):
+        doc = json.loads(json.dumps(DOC))
+        base = {s.name: s.seed for s in compile_campaign(doc).scenarios}
+        # Swap the explicit scenarios and prepend another matrix block:
+        # every pre-existing scenario keeps its exact seed.
+        doc["scenarios"].reverse()
+        doc["matrix"].insert(
+            0, {"name": "extra", "axes": {"utilization": [0.3]}}
+        )
+        moved = {s.name: s.seed for s in compile_campaign(doc).scenarios}
+        for name, seed in base.items():
+            assert moved[name] == seed
+
+    def test_seed_derivation_bit_identical_across_worker_counts(self):
+        doc = json.loads(json.dumps(DOC))
+        doc["scenarios"] = [
+            {"name": "tiny", "utilization": 0.4, "duration": 3.0, "sites": 1}
+        ]
+        doc.pop("matrix")
+        doc["budgets"] = {"retries": 0}
+        spec = compile_campaign(doc)
+        seq = run_campaign(spec, workers=1)
+        par = run_campaign(spec, workers=2)
+        assert seq.runs["tiny"] == par.runs["tiny"]
+        assert seq.fingerprint() == par.fingerprint()
+
+    def test_rerunning_a_reloaded_scenario_is_bit_identical(self):
+        spec = compile_campaign(json.loads(json.dumps(DOC)))
+        respec = compile_campaign(json.loads(json.dumps(dump_campaign(spec))))
+        s0 = next(s for s in spec.scenarios if s.name == "explicit")
+        s1 = next(s for s in respec.scenarios if s.name == "explicit")
+        assert s0 == s1
+        assert run_scenario(s0) == run_scenario(s1)

@@ -105,6 +105,25 @@ class TestRunJournal:
         with pytest.raises(JournalCorruptError, match="refusing to resume"):
             RunJournal(path)
 
+    def test_corruption_error_names_path_and_byte_offset(self, tmp_path):
+        path = tmp_path / "j"
+        with RunJournal(path) as j:
+            j.put(j.key(label="t", index=0, args=()), 10)
+        header_and_record = len(path.read_bytes())
+        garbage = b"garbage not json\n"
+        with open(path, "ab") as fh:
+            fh.write(garbage)
+            fh.write(b'{"k":"abc","p":""}\n')  # valid line AFTER the garbage
+        with pytest.raises(JournalCorruptError) as ei:
+            RunJournal(path)
+        msg = str(ei.value)
+        assert str(path) in msg
+        # The offending record's exact byte span is named.
+        start = header_and_record
+        end = start + len(garbage) - 1  # span excludes the newline
+        assert f"byte offset {start}" in msg
+        assert f"bytes {start}-{end}" in msg
+
     def test_foreign_file_rejected(self, tmp_path):
         path = tmp_path / "j"
         path.write_text('{"some": "other json"}\n')

@@ -114,3 +114,67 @@ class TestRng:
     def test_spawned_streams_differ(self):
         sim = Simulation(7)
         assert sim.spawn_rng().random() != sim.spawn_rng().random()
+
+
+class TestEventBudget:
+    def _ticker(self, sim):
+        def tick():
+            sim.schedule(1.0, tick)
+        sim.schedule(1.0, tick)
+
+    def test_budget_exhaustion_raises_with_context(self):
+        from repro.sim.engine import EventBudgetExceeded
+
+        sim = Simulation(0)
+        self._ticker(sim)
+        with pytest.raises(EventBudgetExceeded) as ei:
+            sim.run(max_events=5)
+        assert ei.value.max_events == 5
+        assert ei.value.now == 5.0
+        assert "5 events" in str(ei.value)
+
+    def test_budget_not_hit_is_identical_to_unbudgeted(self):
+        done = []
+        for max_events in (None, 100):
+            sim = Simulation(3)
+            order = []
+            for delay in (3.0, 1.0, 2.0):
+                sim.schedule(delay, order.append, delay)
+            end = sim.run(max_events=max_events)
+            done.append((order, end))
+        assert done[0] == done[1]
+
+    def test_budget_respects_until(self):
+        sim = Simulation(0)
+        self._ticker(sim)
+        assert sim.run(until=3.5, max_events=100) == 3.5
+        assert sim.now == 3.5
+
+    def test_budget_exhaustion_is_deterministic(self):
+        from repro.sim.engine import EventBudgetExceeded
+
+        times = []
+        for _ in range(2):
+            sim = Simulation(9)
+            self._ticker(sim)
+            with pytest.raises(EventBudgetExceeded) as ei:
+                sim.run(max_events=7)
+            times.append((ei.value.now, sim.now))
+        assert times[0] == times[1]
+
+    def test_invalid_budget_rejected(self):
+        sim = Simulation(0)
+        with pytest.raises(ValueError):
+            sim.run(max_events=0)
+
+    def test_stop_inside_budgeted_loop(self):
+        sim = Simulation(0)
+        self._ticker(sim)
+        sim.schedule(2.5, sim.stop)
+        assert sim.run(max_events=100) == 2.5
+
+    def test_budgeted_loop_with_invariants_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "1")
+        sim = Simulation(4)
+        self._ticker(sim)
+        assert sim.run(until=4.5, max_events=50) == 4.5

@@ -227,6 +227,24 @@ class TestForcedOutages:
                 1 - 35 / 400
             )
 
+    def test_conflict_error_names_station_and_both_windows(self):
+        sim, sites, _ = self._sim_with_sites(n=2)
+        stations = [s.station for s in sites]
+        inj = FailureInjector(sim, stations, None, None, 400.0)
+        inj.schedule_outage(50.0, 20.0, [stations[0]])
+        inj.schedule_outage(55.0, 20.0, [stations[1]])
+        # One rejected call conflicting on BOTH stations: every conflict
+        # is reported, each naming the station and both window bounds.
+        with pytest.raises(ValueError) as ei:
+            inj.schedule_outage(60.0, 30.0)
+        msg = str(ei.value)
+        assert "[60.0, 90.0)" in msg             # the new window
+        assert "station 's0'" in msg
+        assert "[50.0, 70.0)" in msg             # s0's scheduled window
+        assert "station 's1'" in msg
+        assert "[55.0, 75.0)" in msg             # s1's scheduled window
+        assert "2 station(s)" in msg
+
     def test_validation(self):
         sim, sites, _ = self._sim_with_sites(n=1)
         other_sim = Simulation(1)
