@@ -1,4 +1,4 @@
-"""The project-specific rule pack (``RPR001`` … ``RPR010``).
+"""The project-specific rule pack (``RPR001`` … ``RPR011``).
 
 Each rule encodes one invariant the reproduction's results rest on but
 no generic linter knows about — determinism of the simulation substrate,
@@ -677,3 +677,45 @@ class CampaignLoaderSafetyRule(Rule):
                 f"{_dotted(node.func)} deserializes arbitrary objects from "
                 "campaign input; scenario files are JSON/YAML data only",
             )
+
+
+@rule
+class ResultSerializationRule(Rule):
+    """RPR011: result objects reach JSON only through the wire schema.
+
+    The unified envelope (:mod:`repro.experiments.schema`) is the single
+    place that knows the public field names, ``schema_version`` stamping
+    and the forward-compat policy.  A ``json.dumps(result.as_dict())``
+    (or ``to_dict`` / ``salvage_report`` / ``golden_summary``) elsewhere
+    in :mod:`repro` bypasses that contract: the document it writes
+    drifts from the one the service, the golden differ and the CLI
+    agree on the moment the schema evolves.  Serialize through
+    ``repro.experiments.schema.dumps``/``dump`` instead.
+    """
+
+    code = "RPR011"
+    summary = "raw json.dumps of a result object outside repro.experiments.schema"
+
+    _RESULT_PRODUCERS = {"as_dict", "to_dict", "salvage_report", "golden_summary"}
+    _JSON_WRITERS = {"json.dumps", "json.dump"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro") or ctx.in_package("repro.experiments.schema"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _dotted(node.func) not in self._JSON_WRITERS or not node.args:
+                continue
+            payload = node.args[0]
+            if not isinstance(payload, ast.Call):
+                continue
+            producer = _terminal_name(payload.func)
+            if producer in self._RESULT_PRODUCERS:
+                yield self.finding(
+                    ctx, node,
+                    f"json.{_terminal_name(node.func)} of {producer}() "
+                    "bypasses the versioned wire schema; serialize result "
+                    "objects through repro.experiments.schema.dumps/dump so "
+                    "every consumer shares one envelope",
+                )

@@ -25,11 +25,15 @@ from pathlib import Path
 from repro.campaign.runner import CampaignResult
 from repro.campaign.spec import GoldenTolerance
 
+from repro.experiments import schema as wire
+
 __all__ = ["GoldenDrift", "golden_summary", "write_golden", "load_golden", "diff_golden"]
 
-#: Golden file format marker (bumped on incompatible shape changes).
-GOLDEN_MAGIC = "repro-golden"
-GOLDEN_VERSION = 1
+#: Legacy golden-file markers, re-exported for back-compat.  New files
+#: carry the unified envelope (``schema_version``/``kind``) *and* these
+#: markers — see :mod:`repro.experiments.schema`.
+GOLDEN_MAGIC = wire.GOLDEN_MAGIC
+GOLDEN_VERSION = wire.GOLDEN_LEGACY_VERSION
 
 
 @dataclass(frozen=True)
@@ -54,42 +58,29 @@ class GoldenDrift:
 
 
 def golden_summary(result: CampaignResult) -> dict:
-    """JSON-safe pinnable summary of a campaign run."""
-    return {
-        "magic": GOLDEN_MAGIC,
-        "version": GOLDEN_VERSION,
-        "campaign": result.campaign,
-        "seed": result.seed,
-        "scenarios": {
-            name: {"seed": run.seed, "metrics": run.metrics}
-            for name, run in result.runs.items()
-        },
-        "quarantined": sorted([q.name, q.reason] for q in result.quarantined),
-    }
+    """JSON-safe pinnable summary of a campaign run.
+
+    An enveloped ``golden-summary`` document dual-stamped with the
+    legacy ``magic``/``version`` markers (older checkouts keep reading
+    files this build writes).
+    """
+    return wire.dump_golden_summary(result)
 
 
 def write_golden(result: CampaignResult, path: str | Path) -> Path:
     """Pin ``result`` as the expected summary at ``path``."""
-    path = Path(path)
-    path.write_text(
-        json.dumps(golden_summary(result), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    return path
+    return wire.dump(golden_summary(result), path)
 
 
 def load_golden(path: str | Path) -> dict:
-    """Load a pinned summary, refusing unknown formats loudly."""
+    """Load a pinned summary (enveloped or legacy), refusing unknown
+    formats loudly with a :class:`ValueError` naming the file."""
     path = Path(path)
     data = json.loads(path.read_text(encoding="utf-8"))
-    if not isinstance(data, dict) or data.get("magic") != GOLDEN_MAGIC:
-        raise ValueError(f"{path} is not a golden campaign summary")
-    if data.get("version") != GOLDEN_VERSION:
-        raise ValueError(
-            f"{path} has golden format version {data.get('version')!r}, "
-            f"this build reads {GOLDEN_VERSION}"
-        )
-    return data
+    try:
+        return wire.load_golden_summary(data)
+    except wire.WireFormatError as exc:
+        raise ValueError(f"{path} is not a golden campaign summary: {exc}") from exc
 
 
 def diff_golden(

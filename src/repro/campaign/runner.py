@@ -151,16 +151,15 @@ class CampaignResult:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def salvage_report(self) -> dict:
-        """JSON-safe report of what was set aside (CI artifact shape)."""
-        return {
-            "campaign": self.campaign,
-            "seed": self.seed,
-            "digest": self.digest,
-            "scenarios": len(self.runs) + len(self.quarantined),
-            "succeeded": len(self.runs),
-            "quarantined": [q.as_dict() for q in self.quarantined],
-            "fingerprint": self.fingerprint(),
-        }
+        """JSON-safe report of what was set aside (CI artifact shape).
+
+        An enveloped ``salvage-report`` document (see
+        :mod:`repro.experiments.schema`) — the same shape the service's
+        status endpoint serves.
+        """
+        from repro.experiments import schema as wire
+
+        return wire.dump_salvage_report(self)
 
     def to_experiment_result(self) -> ExperimentResult:
         """Project into the standard experiment envelope (PR 3)."""
@@ -195,6 +194,7 @@ def run_campaign(
     workers: int | None = None,
     checkpoint=None,
     resume: bool = False,
+    progress: Callable[[str, TaskOutcome], None] | None = None,
 ) -> CampaignResult:
     """Execute a compiled campaign under its budgets.
 
@@ -215,7 +215,24 @@ def run_campaign(
     resume:
         Require the checkpoint to exist (fail loudly on a typo'd path
         instead of silently starting over).
+    progress:
+        Optional per-scenario lifecycle callback, invoked in this
+        process as ``progress(scenario_name, outcome)`` the moment each
+        scenario settles (journal replay, success or exhausted failure)
+        — completion order, not campaign order.  ``repro.service``
+        bridges this to its SSE event stream.
+
+    Raises
+    ------
+    repro.obs.provider.TelemetryFanoutError
+        If ``workers > 1`` while a telemetry factory is installed —
+        the same API-layer guardrail ``run_tasks`` and the CLI apply
+        (a ``ValueError`` naming ``--telemetry`` and ``--workers``).
     """
+    from repro.obs import provider
+
+    provider.ensure_fanout_compatible(resolve_workers(workers),
+                                      context="run_campaign")
     stats = campaign_stats()
     stats.scenarios += len(spec.scenarios)
 
@@ -239,6 +256,10 @@ def run_campaign(
     # A wall-clock timeout needs a worker process to terminate; with a
     # single in-process worker run_tasks would only warn, so drop it.
     timeout = spec.budgets.timeout if resolve_workers(workers) > 1 else None
+    on_result = None
+    if progress is not None:
+        names = [s.name for s in runnable]
+        on_result = lambda outcome: progress(names[outcome.index], outcome)
     try:
         outcomes: list[TaskOutcome] = run_tasks(
             scenario_task,
@@ -250,6 +271,7 @@ def run_campaign(
             base_seed=spec.seed,
             journal=journal,
             label="scenario",
+            on_result=on_result,
         )
     finally:
         if owned and journal is not None:

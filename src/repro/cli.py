@@ -8,7 +8,9 @@ Usage::
     python -m repro validation             # the §4.2 table
     python -m repro cutoff --cloud-rtt 24  # quick analytic cutoff query
     python -m repro sensitivity            # cutoff sensitivity sweeps
-    python -m repro dump --outdir results  # persist all figures as JSON
+    python -m repro dump --out results     # persist all figures as JSON
+    python -m repro campaign camp.yaml     # declarative scenario campaign
+    python -m repro serve --port 8000      # HTTP/SSE campaign service
 
 Every experiment command (and ``report`` / ``dump``) accepts
 ``--telemetry PATH``: a :mod:`repro.obs` factory is installed for the
@@ -41,6 +43,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import warnings
 from dataclasses import replace
 from itertools import count
 
@@ -60,12 +63,24 @@ def _experiment_text(name: str):
     return runner
 
 
-#: Deprecated: name -> (runner(cfg) -> str, description).  Kept for
-#: callers of the pre-registry API; the source of truth is
-#: :mod:`repro.experiments.result`.
-EXPERIMENTS = {
-    spec.name: (_experiment_text(spec.name), spec.description) for spec in available()
-}
+def __getattr__(name: str):
+    # Deprecated pre-registry API: name -> (runner(cfg) -> str,
+    # description).  The source of truth is
+    # repro.experiments.result.available(); the supported import surface
+    # is the repro.api facade.
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "repro.cli.EXPERIMENTS is deprecated; use "
+            "repro.experiments.result.available()/run_experiment "
+            "(re-exported by repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            spec.name: (_experiment_text(spec.name), spec.description)
+            for spec in available()
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _cmd_list() -> int:
@@ -105,8 +120,16 @@ def _cmd_sensitivity() -> int:
 def _cmd_dump(args: argparse.Namespace, cfg: ExperimentConfig) -> int:
     from repro.experiments.persist import dump_all_figures
 
+    outdir = args.out
+    if args.outdir is not None:
+        print(
+            "note: --outdir is deprecated; use --out DIR (same meaning)",
+            file=sys.stderr,
+        )
+        if outdir is None:
+            outdir = args.outdir
     only = args.figures.split(",") if args.figures else None
-    written = dump_all_figures(cfg, args.outdir, only=only)
+    written = dump_all_figures(cfg, outdir or "results", only=only)
     for name, path in written.items():
         print(f"wrote {name} -> {path}")
     return 0
@@ -170,9 +193,6 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     """``repro campaign FILE``: run a campaign under its budgets."""
-    import json
-    from pathlib import Path
-
     from repro.campaign import (
         CampaignValidationError,
         diff_golden,
@@ -181,6 +201,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         run_campaign,
         write_golden,
     )
+    from repro.experiments import schema as wire
 
     try:
         spec = load_campaign(args.file)
@@ -199,10 +220,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(result.to_experiment_result().text)
 
     if args.salvage_report:
-        report = Path(args.salvage_report)
-        report.write_text(
-            json.dumps(result.salvage_report(), indent=2, sort_keys=True) + "\n"
-        )
+        report = wire.dump(result.salvage_report(), args.salvage_report)
         print(f"wrote salvage report to {report}")
 
     if args.update_golden:
@@ -226,6 +244,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 1
         print(f"golden: matches {args.golden} ({len(result.runs)} scenario(s))")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the HTTP/SSE campaign service (repro.service)."""
+    from repro.service.http import serve
+
+    state_dir = args.state_dir
+    if args.checkpoint is not None:
+        print(
+            "note: for serve, --checkpoint is an alias for --state-dir DIR",
+            file=sys.stderr,
+        )
+        if state_dir is None:
+            state_dir = args.checkpoint
+    # SSE telemetry rides the in-process (serial) path only; with
+    # fanned-out scenario workers there are no spans to bridge.
+    window = None
+    if resolve_workers(args.workers) == 1:
+        window = args.telemetry_window
+    return serve(
+        args.host,
+        args.port,
+        state_dir=state_dir,
+        pool=args.pool,
+        workers=args.workers,
+        telemetry_window=window,
+        telemetry_path=args.telemetry,
+        verbose=not args.quiet,
+    )
 
 
 class _TelemetrySession:
@@ -332,6 +379,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_validate(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "report":
         from pathlib import Path
 
@@ -371,7 +420,10 @@ def main(argv: list[str] | None = None) -> int:
     rep.add_argument("--full", action="store_true", help="publication-sized run")
     _add_common_args(rep)
     dump = sub.add_parser("dump", help="persist figure results as JSON")
-    dump.add_argument("--outdir", default="results", help="output directory")
+    dump.add_argument("--out", default=None, metavar="DIR",
+                      help="output directory (default: results)")
+    dump.add_argument("--outdir", default=None, metavar="DIR",
+                      help="deprecated alias for --out")
     dump.add_argument("--figures", default=None, help="comma-separated subset")
     dump.add_argument("--full", action="store_true", help="publication-sized run")
     _add_common_args(dump)
@@ -393,25 +445,6 @@ def main(argv: list[str] | None = None) -> int:
         "(default: quarantine them and run the rest)",
     )
     camp.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for scenario fan-out "
-        "(default $REPRO_WORKERS or 1; results bit-identical for any N)",
-    )
-    camp.add_argument(
-        "--checkpoint",
-        metavar="PATH",
-        default=None,
-        help="journal scenario results to PATH for crash-safe resume",
-    )
-    camp.add_argument(
-        "--resume",
-        action="store_true",
-        help="require --checkpoint to already exist (typo guard)",
-    )
-    camp.add_argument(
         "--golden",
         metavar="EXPECTED",
         default=None,
@@ -430,6 +463,32 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the quarantine/salvage report as JSON to PATH",
     )
+    _add_common_args(camp)
+    srv = sub.add_parser(
+        "serve",
+        help="run the campaign service: HTTP/SSE front-end (repro.service)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8000,
+                     help="bind port (0 = ephemeral)")
+    srv.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="spool directory for durable jobs: per-job campaign.json, "
+        "scenario journal and result.json; a restarted server resumes "
+        "unfinished jobs from here (default: in-memory only)",
+    )
+    srv.add_argument(
+        "--pool",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaigns run concurrently (default 1)",
+    )
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress startup/shutdown log lines")
+    _add_common_args(srv)
     cut = sub.add_parser("cutoff", help="analytic inversion-cutoff query")
     cut.add_argument("--cloud-rtt", type=float, required=True, help="cloud RTT in ms")
     cut.add_argument("--edge-rtt", type=float, default=1.0, help="edge RTT in ms")
@@ -450,6 +509,11 @@ def main(argv: list[str] | None = None) -> int:
                 f"--resume: checkpoint {args.checkpoint!r} does not exist; "
                 "run once with --checkpoint (without --resume) to create it"
             )
+    if getattr(args, "golden", None) and getattr(args, "update_golden", None):
+        parser.error(
+            "--golden and --update-golden are mutually exclusive: diff "
+            "this run against a pinned summary or pin a new one, not both"
+        )
     if getattr(args, "check_invariants", False):
         # Simulations read the flag at construction time, and worker
         # processes inherit the environment — one env var covers both the
@@ -462,12 +526,18 @@ def main(argv: list[str] | None = None) -> int:
         # are mutually exclusive — fail loudly instead of dropping spans.
         if resolve_workers(getattr(args, "workers", None)) > 1:
             parser.error(
-                "--telemetry cannot be combined with --workers > 1 "
-                "(or $REPRO_WORKERS > 1): worker processes do not stream "
-                "spans back, so the telemetry file would silently miss "
-                "most of the run.  Drop one of the two flags."
+                "--telemetry and --workers are mutually exclusive: worker "
+                "processes do not stream spans back to this process's "
+                "exporter, so the telemetry file would silently miss most "
+                "of the run.  Use --workers 1 (and unset $REPRO_WORKERS), "
+                "or drop --telemetry."
             )
-        session = _TelemetrySession(args.telemetry, args.telemetry_window, args.command)
+        if args.command != "serve":
+            # serve owns its telemetry lifecycle (per-job exporters on the
+            # SSE bus, plus the optional shared JSON-lines file).
+            session = _TelemetrySession(
+                args.telemetry, args.telemetry_window, args.command
+            )
     try:
         return _dispatch(args)
     finally:

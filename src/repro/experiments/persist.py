@@ -72,10 +72,10 @@ def load_result(path: str | Path) -> Any:
     return json.loads(Path(path).read_text())
 
 
-#: Deprecated: figure name -> runner.  The registry in
-#: :mod:`repro.experiments.result` is the source of truth; this mapping
-#: remains for callers of the pre-registry API.
-FIGURE_RUNNERS: dict[str, Callable[[ExperimentConfig], Any]] = {
+#: Internal: figure name -> runner, in paper order.  The registry in
+#: :mod:`repro.experiments.result` is the source of truth; this table
+#: only drives :func:`dump_all_figures`'s default set and ordering.
+_FIGURE_RUNNERS: dict[str, Callable[[ExperimentConfig], Any]] = {
     "fig2": F.fig2_spatial_skew,
     "fig3": F.fig3_mean_typical,
     "fig4": F.fig4_mean_distant,
@@ -86,6 +86,23 @@ FIGURE_RUNNERS: dict[str, Callable[[ExperimentConfig], Any]] = {
     "fig9": F.fig9_azure_latency,
     "fig10": F.fig10_azure_per_site,
 }
+
+
+def __getattr__(name: str):
+    # Deprecated pre-registry API: keep ``FIGURE_RUNNERS`` importable but
+    # steer callers to the experiment registry (via the repro.api facade).
+    if name == "FIGURE_RUNNERS":
+        import warnings
+
+        warnings.warn(
+            "repro.experiments.persist.FIGURE_RUNNERS is deprecated; use "
+            "repro.experiments.result.available()/run_experiment "
+            "(re-exported by repro.api)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return dict(_FIGURE_RUNNERS)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def dump_experiment(name: str, config: ExperimentConfig, path: str | Path) -> Path:
@@ -124,8 +141,8 @@ def dump_all_figures(
 
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    names = list(FIGURE_RUNNERS) if only is None else list(only)
-    unknown = [n for n in names if n not in FIGURE_RUNNERS]
+    names = list(_FIGURE_RUNNERS) if only is None else list(only)
+    unknown = [n for n in names if n not in _FIGURE_RUNNERS]
     if unknown:
         raise ValueError(f"unknown figures: {unknown}")
     written: dict[str, Path] = {}

@@ -69,20 +69,34 @@ class ExperimentResult:
     raw: Any = None
 
     def as_dict(self) -> dict:
-        """JSON-safe projection (everything except ``raw``)."""
-        return {
-            "name": self.name,
-            "metadata": self.metadata,
-            "tables": self.tables,
-            "series": self.series,
-            "text": self.text,
-        }
+        """JSON-safe projection (everything except ``raw``).
+
+        An enveloped ``experiment-result`` wire document
+        (:mod:`repro.experiments.schema`): ``schema_version`` + ``kind``
+        plus the stable payload fields.
+        """
+        from repro.experiments import schema as wire
+
+        return wire.dump_experiment_result(self)
 
     def save(self, path: str | Path) -> Path:
         """Persist the projection to ``path`` as indented JSON."""
-        path = Path(path)
-        path.write_text(json.dumps(self.as_dict(), indent=2, allow_nan=False))
-        return path
+        from repro.experiments import schema as wire
+
+        return wire.dump(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        """Load a persisted projection (enveloped or legacy shape).
+
+        The loaded result carries ``raw=None`` — only the JSON
+        projection crosses the file boundary.
+        """
+        from repro.experiments import schema as wire
+
+        return wire.load_experiment_result(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -262,6 +262,8 @@ class Telemetry:
         if self._finished:
             return None
         self._finished = True
+        from repro.experiments.schema import stamp_telemetry
+
         self.windows.flush()
         snapshot = {
             k: (v if v is not None and math.isfinite(v) else None)
@@ -282,6 +284,7 @@ class Telemetry:
         }
         if self.label:
             summary["run"] = self.label
+        stamp_telemetry(summary)
         for exporter in self.exporters:
             exporter.export(summary)
         return summary

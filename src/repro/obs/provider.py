@@ -29,7 +29,52 @@ from __future__ import annotations
 from contextlib import contextmanager
 from collections.abc import Callable, Iterator
 
-__all__ = ["install", "uninstall", "current_telemetry", "installed", "is_installed"]
+__all__ = [
+    "TelemetryFanoutError",
+    "ensure_fanout_compatible",
+    "install",
+    "uninstall",
+    "current_telemetry",
+    "installed",
+    "is_installed",
+]
+
+
+class TelemetryFanoutError(ValueError, RuntimeError):
+    """Telemetry (``--telemetry``) and fan-out (``--workers``) collided.
+
+    The installed factory is process-local: spans recorded in worker
+    processes could never reach this process's exporters, so the
+    combination is refused rather than silently dropping records.
+
+    Subclasses both ``ValueError`` (it is an invalid argument
+    combination — the contract for library callers and
+    ``repro.service``) and ``RuntimeError`` (the type this guard
+    historically raised from ``run_tasks``), so every existing
+    ``except`` keeps working.
+    """
+
+
+def ensure_fanout_compatible(
+    workers: int, context: str = "run_tasks", *, installing: bool = False
+) -> None:
+    """Raise :class:`TelemetryFanoutError` if ``workers > 1`` with telemetry on.
+
+    The single API-layer guardrail behind the CLI's argparse check, the
+    parallel pool and ``repro.service`` — every caller gets the same
+    error naming both options (``--telemetry`` × ``--workers``).
+    ``installing=True`` applies the check to a caller *about to* install
+    a factory of its own (the service) rather than to the current state.
+    """
+    if workers > 1 and (installing or is_installed()):
+        raise TelemetryFanoutError(
+            f"--telemetry and --workers are mutually exclusive: {context} "
+            f"was asked for workers={workers} while a telemetry factory is "
+            "installed (repro.obs.install), and worker processes cannot "
+            "stream spans back to this process's exporters — the records "
+            "would be silently lost.  Use workers=1 with telemetry, or "
+            "uninstall the factory around the parallel section."
+        )
 
 #: factory returning a fresh Telemetry (or None) per Simulation.
 _factory: Callable[[], object] | None = None

@@ -29,6 +29,7 @@ _OPT_NUM = (numbers.Real, type(None))
 #: field -> (type spec, required).  Nested dicts validate sub-objects.
 _WINDOW_SCHEMA: dict = {
     "type": (str, True),
+    "schema_version": (int, False),
     "t_start": (_NUM, True),
     "t_end": (_NUM, True),
     "completed": (int, True),
@@ -67,6 +68,7 @@ _STATION_SCHEMA = {
 
 _SUMMARY_SCHEMA = {
     "type": (str, True),
+    "schema_version": (int, False),
     "t_end": (_NUM, True),
     "windows": (int, True),
     "completed": (int, True),
@@ -90,9 +92,9 @@ def _check(obj: dict, schema: dict, where: str) -> None:
             raise SchemaError(
                 f"{where}.{field}: expected {kind}, got {type(value).__name__} ({value!r})"
             )
-    unknown = set(obj) - set(schema)
-    if unknown:
-        raise SchemaError(f"{where}: unknown fields {sorted(unknown)}")
+    # Unknown fields are tolerated: the unified wire contract
+    # (repro.experiments.schema) lets a newer writer add fields within a
+    # schema version, and readers must not choke on them.
 
 
 def validate_record(record: dict) -> None:
@@ -103,6 +105,15 @@ def validate_record(record: dict) -> None:
     """
     if not isinstance(record, dict) or "type" not in record:
         raise SchemaError("record must be an object with a 'type' field")
+    version = record.get("schema_version")
+    if version is not None and not isinstance(version, bool) and isinstance(version, int):
+        from repro.experiments.schema import SCHEMA_VERSION
+
+        if version > SCHEMA_VERSION:
+            raise SchemaError(
+                f"record has schema_version {version}, this build reads "
+                f"{SCHEMA_VERSION}"
+            )
     rtype = record["type"]
     if rtype == "window":
         _check(record, _WINDOW_SCHEMA, "window")

@@ -192,6 +192,8 @@ class WindowedCollector:
             stations[name] = d
         if self._completed == 0 and not stations and not any(self._refused.values()):
             return None
+        from repro.experiments.schema import stamp_telemetry
+
         q = self._sketch
         record = {
             "type": "window",
@@ -218,7 +220,7 @@ class WindowedCollector:
         }
         if self.label:
             record["run"] = self.label
-        return record
+        return stamp_telemetry(record)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -119,17 +119,10 @@ def _pickle_diagnostic(fn: Callable, tasks: Sequence[tuple]) -> str | None:
     return None
 
 
-def _refuse_telemetry_fanout() -> None:
+def _refuse_telemetry_fanout(workers: int) -> None:
     from repro.obs import provider
 
-    if provider.is_installed():
-        raise RuntimeError(
-            "telemetry is installed (repro.obs.install) but run_tasks was "
-            "asked for workers > 1: worker processes cannot stream spans "
-            "back to this process's exporters, so the records would be "
-            "silently lost.  Use workers=1 with telemetry, or uninstall "
-            "the factory around the parallel section."
-        )
+    provider.ensure_fanout_compatible(workers, context="run_tasks")
 
 
 def run_tasks(
@@ -145,6 +138,7 @@ def run_tasks(
     salvage: bool = False,
     base_seed: int | None = None,
     journal: Any = None,
+    on_result: Callable[[TaskOutcome], None] | None = None,
 ) -> list:
     """Run ``fn(*task)`` for every task, fanning across processes.
 
@@ -190,6 +184,13 @@ def run_tasks(
         A :class:`repro.experiments.store.RunJournal` (or duck-typed
         equivalent): completed tasks replay from it, fresh results are
         durably appended as they arrive (supervised).
+    on_result:
+        Progress callback invoked in *this* process with each task's
+        final :class:`TaskOutcome` the moment it settles (journal
+        replay, success, or exhausted failure) — completion order, not
+        task order.  Supervised path only; lifecycle streaming for
+        :mod:`repro.service`.  Callback exceptions propagate (they
+        indicate a broken observer, not a broken task).
 
     Returns
     -------
@@ -205,18 +206,23 @@ def run_tasks(
         If a task fails in a worker (named by index, args and derived
         seed, traceback attached) and ``salvage`` is off.  On the plain
         serial path the task's original exception propagates unwrapped.
-    RuntimeError
+    repro.obs.provider.TelemetryFanoutError
         If ``workers > 1`` while a telemetry factory is installed —
         fan-out would silently drop every span recorded in the workers;
-        run with ``workers=1`` or uninstall telemetry first.
+        run with ``workers=1`` or uninstall telemetry first.  (A
+        ``ValueError`` *and* ``RuntimeError`` subclass.)
     """
     tasks = [tuple(t) for t in tasks]
     workers = resolve_workers(workers)
     supervised = (
-        timeout is not None or retries > 0 or salvage or journal is not None
+        timeout is not None
+        or retries > 0
+        or salvage
+        or journal is not None
+        or on_result is not None
     )
     if workers > 1:
-        _refuse_telemetry_fanout()
+        _refuse_telemetry_fanout(workers)
 
     if not supervised:
         if workers == 1 or len(tasks) <= 1:
@@ -262,6 +268,7 @@ def run_tasks(
         base_seed=base_seed,
         journal=journal,
         fail_fast=not salvage,
+        on_result=on_result,
     )
     if salvage:
         return outcomes

@@ -307,6 +307,7 @@ def run_supervised(
     base_seed: int | None = None,
     journal: Any = None,
     fail_fast: bool = True,
+    on_result: Callable[[TaskOutcome], None] | None = None,
 ) -> list[TaskOutcome]:
     """Run every task under supervision; return one outcome per task.
 
@@ -319,6 +320,12 @@ def run_supervised(
     With ``fail_fast=True`` the first task to exhaust its attempts
     raises its :meth:`TaskOutcome.to_error`; with ``fail_fast=False``
     (``salvage=``) failures are returned in their envelopes instead.
+
+    ``on_result`` (optional) is invoked in the supervisor process with
+    each task's final :class:`TaskOutcome` as it settles — journal
+    replays first, then live completions/failures in completion order.
+    Per-attempt events (retries in flight) are not reported; a task
+    settles exactly once.
     """
     tasks = [tuple(t) for t in tasks]
     outcomes: list[TaskOutcome | None] = [None] * len(tasks)
@@ -332,17 +339,20 @@ def run_supervised(
                 outcomes[i] = _outcome(i, label, args, base_seed, "ok",
                                        result=result, from_journal=True)
                 _STATS.journal_hits += 1
+                if on_result is not None:
+                    on_result(outcomes[i])
                 continue
         todo.append(i)
 
     if workers > 1 and len(todo) > 1:
         _run_parallel(fn, tasks, todo, keys, outcomes, workers=workers,
                       policy=policy, label=label, base_seed=base_seed,
-                      journal=journal, fail_fast=fail_fast)
+                      journal=journal, fail_fast=fail_fast,
+                      on_result=on_result)
     else:
         _run_serial(fn, tasks, todo, keys, outcomes, policy=policy,
                     label=label, base_seed=base_seed, journal=journal,
-                    fail_fast=fail_fast)
+                    fail_fast=fail_fast, on_result=on_result)
 
     if not fail_fast:
         _STATS.salvaged += sum(
@@ -379,7 +389,7 @@ def _outcome(
 
 
 def _record_ok(outcomes, keys, journal, tasks, label, base_seed, index,
-               result, attempts) -> None:
+               result, attempts, on_result=None) -> None:
     """Journal first (durability), then publish the outcome."""
     if journal is not None:
         journal.put(keys[index], result, label=label, index=index,
@@ -387,10 +397,12 @@ def _record_ok(outcomes, keys, journal, tasks, label, base_seed, index,
     outcomes[index] = _outcome(index, label, tasks[index], base_seed, "ok",
                                result=result, attempts=attempts)
     _STATS.completed += 1
+    if on_result is not None:
+        on_result(outcomes[index])
 
 
 def _run_serial(fn, tasks, todo, keys, outcomes, *, policy, label,
-                base_seed, journal, fail_fast) -> None:
+                base_seed, journal, fail_fast, on_result=None) -> None:
     """In-process, in-order execution: retries + journal, no preemption."""
     if policy.timeout is not None:
         warnings.warn(
@@ -420,12 +432,14 @@ def _run_serial(fn, tasks, todo, keys, outcomes, *, policy, label,
                     error=f"{type(exc).__name__}: {exc}",
                     tb=traceback.format_exc(), attempts=attempt,
                 )
+                if on_result is not None:
+                    on_result(outcomes[i])
                 if fail_fast:
                     raise outcomes[i].to_error(base_seed) from exc
                 break
             else:
                 _record_ok(outcomes, keys, journal, tasks, label, base_seed,
-                           i, result, attempt)
+                           i, result, attempt, on_result)
                 break
 
 
@@ -449,7 +463,8 @@ def _reap(flight: _InFlight) -> None:
 
 
 def _run_parallel(fn, tasks, todo, keys, outcomes, *, workers, policy,
-                  label, base_seed, journal, fail_fast) -> None:
+                  label, base_seed, journal, fail_fast,
+                  on_result=None) -> None:
     """Sliding-window process-per-task supervisor."""
     # (index, attempt, not_before): attempts waiting to be dispatched.
     pending: list[tuple[int, int, float]] = [(i, 1, 0.0) for i in todo]
@@ -469,6 +484,8 @@ def _run_parallel(fn, tasks, todo, keys, outcomes, *, workers, policy,
             flight.index, label, tasks[flight.index], base_seed, status,
             error=error, tb=tb, attempts=flight.attempt,
         )
+        if on_result is not None:
+            on_result(outcomes[flight.index])
         if fail_fast:
             raise outcomes[flight.index].to_error(base_seed)
 
@@ -517,7 +534,7 @@ def _run_parallel(fn, tasks, todo, keys, outcomes, *, workers, policy,
                 if message[0] == "ok":
                     _record_ok(outcomes, keys, journal, tasks, label,
                                base_seed, flight.index, message[1],
-                               flight.attempt)
+                               flight.attempt, on_result)
                 else:
                     _, etype, emsg, tb = message
                     finalize(flight, "failed", f"{etype}: {emsg}", tb)

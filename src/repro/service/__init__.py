@@ -1,0 +1,40 @@
+"""repro.service — the campaign service (HTTP/SSE front-end).
+
+ROADMAP item 5: the batch reproduction exposed as a long-running,
+stdlib-only HTTP service.  Clients ``POST`` declarative campaign
+documents (PR 7), the service validates, enqueues and runs them on the
+supervised substrate (PR 6), and every result crosses the wire in the
+unified versioned envelope of :mod:`repro.experiments.schema`.
+
+Layers, bottom up:
+
+* :mod:`repro.service.events` — a per-job :class:`EventBus`: bounded
+  fan-out of lifecycle and telemetry events to any number of
+  concurrent SSE readers (plain ``threading.Condition``, no deps);
+* :mod:`repro.service.jobs` — :class:`JobManager`: content-addressed
+  campaign jobs (job id = the campaign's digest, so resubmission is
+  idempotent), a bounded worker pool, per-job journals under a state
+  directory, and kill -9 restart/resume (jobs found without a result
+  re-enqueue and replay their journals bit-identically);
+* :mod:`repro.service.http` — the ``ThreadingHTTPServer`` front-end:
+  ``POST /v1/campaigns``, ``GET /v1/campaigns[/{id}[/events]]``,
+  ``GET /v1/experiments``, ``GET /v1/healthz``.
+
+Start it with ``python -m repro serve`` (or ``python -m
+repro.service``); see ``docs/service.md`` for the endpoint and SSE
+event contract.
+"""
+
+from __future__ import annotations
+
+from repro.service.events import EventBus
+from repro.service.http import create_server, serve
+from repro.service.jobs import CampaignJob, JobManager
+
+__all__ = [
+    "EventBus",
+    "CampaignJob",
+    "JobManager",
+    "create_server",
+    "serve",
+]

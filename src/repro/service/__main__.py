@@ -1,0 +1,12 @@
+"""``python -m repro.service`` — start the campaign service directly.
+
+A thin alias for ``python -m repro serve``; all flags are shared (see
+``repro serve --help`` and ``docs/service.md``).
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main(["serve", *sys.argv[1:]]))

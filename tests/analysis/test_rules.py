@@ -437,3 +437,52 @@ class TestCampaignLoaderSafetyRule:
                 return yaml.load(text)
             """)
         assert findings == []
+
+
+class TestResultSerializationRule:
+    def test_flags_raw_dumps_of_result_objects(self, tmp_path):
+        findings = check_source(tmp_path, "repro/experiments/bad.py", """\
+            import json
+
+            def persist(result, path):
+                path.write_text(json.dumps(result.as_dict(), indent=2))
+            """)
+        assert codes(findings) == ["RPR011"]
+        assert "repro.experiments.schema" in findings[0].message
+
+    def test_flags_json_dump_of_salvage_report(self, tmp_path):
+        findings = check_source(tmp_path, "repro/campaign/bad.py", """\
+            import json
+
+            def persist(result, fh):
+                json.dump(result.salvage_report(), fh)
+            """)
+        assert codes(findings) == ["RPR011"]
+
+    def test_schema_module_itself_is_exempt(self, tmp_path):
+        findings = check_source(
+            tmp_path, "repro/experiments/schema.py", """\
+            import json
+
+            def dumps(obj):
+                return json.dumps(obj.as_dict(), sort_keys=True)
+            """)
+        assert findings == []
+
+    def test_plain_payloads_pass(self, tmp_path):
+        findings = check_source(tmp_path, "repro/service/good.py", """\
+            import json
+
+            def send(doc, extra):
+                return json.dumps(doc) + json.dumps({"n": len(extra)})
+            """)
+        assert findings == []
+
+    def test_outside_repro_is_unscoped(self, tmp_path):
+        findings = check_source(tmp_path, "scripts/tool.py", """\
+            import json
+
+            def persist(result):
+                return json.dumps(result.as_dict())
+            """)
+        assert findings == []

@@ -67,3 +67,52 @@ class TestExperimentCommands:
         assert main(["fig2", "--seed", "7"]) == 0
         second = capsys.readouterr().out
         assert first == second  # deterministic given seed
+
+
+class TestFlagNormalization:
+    def test_dump_out_is_canonical(self, tmp_path, capsys):
+        assert main(["dump", "--out", str(tmp_path), "--figures", "fig2"]) == 0
+        assert (tmp_path / "fig2.json").exists()
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_dump_outdir_still_works_with_notice(self, tmp_path, capsys):
+        assert main(["dump", "--outdir", str(tmp_path), "--figures", "fig2"]) == 0
+        captured = capsys.readouterr()
+        assert (tmp_path / "fig2.json").exists()
+        assert "--outdir is deprecated" in captured.err
+
+    def test_golden_update_golden_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "campaign", "whatever.yaml",
+                "--golden", str(tmp_path / "a.json"),
+                "--update-golden", str(tmp_path / "b.json"),
+            ])
+        assert err.value.code == 2
+        message = capsys.readouterr().err
+        assert "--golden and --update-golden are mutually exclusive" in message
+
+    def test_telemetry_workers_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "fig2",
+                "--telemetry", str(tmp_path / "t.jsonl"),
+                "--workers", "4",
+            ])
+        assert err.value.code == 2
+        message = capsys.readouterr().err
+        assert "--telemetry and --workers are mutually exclusive" in message
+
+    def test_campaign_accepts_common_flags(self, capsys):
+        # --workers/--checkpoint/--resume/--telemetry all parse on
+        # campaign (the normalization contract); a bogus file still
+        # fails *after* argparse with the campaign exit code, not 2.
+        rc = main(["campaign", "/nonexistent/x.yaml", "--workers", "1"])
+        assert rc == 3
+
+    def test_resume_requires_checkpoint_everywhere(self, capsys):
+        for command in ("fig2", "campaign x.yaml", "serve"):
+            with pytest.raises(SystemExit) as err:
+                main([*command.split(), "--resume"])
+            assert err.value.code == 2
+            assert "--resume requires --checkpoint" in capsys.readouterr().err

@@ -10,6 +10,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.queueing",
     "repro.sim",
     "repro.workload",
@@ -17,6 +18,11 @@ PACKAGES = [
     "repro.mitigation",
     "repro.stats",
     "repro.experiments",
+    "repro.experiments.schema",
+    "repro.campaign",
+    "repro.obs",
+    "repro.parallel",
+    "repro.service",
 ]
 
 
@@ -58,3 +64,34 @@ def test_cli_entrypoint_importable():
     from repro.cli import main
 
     assert callable(main)
+
+
+def test_api_facade_exports_resolve():
+    import repro.api as api
+
+    for name in api.__all__:
+        assert getattr(api, name) is not None, f"repro.api.{name} missing"
+
+
+def test_api_facade_matches_deep_imports():
+    """The facade re-exports the same objects, not copies."""
+    import repro.api as api
+    from repro.campaign import run_campaign
+    from repro.experiments.result import run_experiment
+
+    assert api.run_campaign is run_campaign
+    assert api.run_experiment is run_experiment
+
+
+def test_retired_deep_paths_warn_and_forward():
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        from repro.cli import EXPERIMENTS
+        from repro.experiments.persist import FIGURE_RUNNERS
+
+    assert all(w.category is DeprecationWarning for w in caught)
+    assert len(caught) == 2
+    assert set(FIGURE_RUNNERS) == {f"fig{i}" for i in range(2, 11)}
+    assert "validation" in EXPERIMENTS
