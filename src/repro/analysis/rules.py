@@ -29,7 +29,11 @@ __all__ = ["DETERMINISM_PACKAGES", "SIM_PACKAGES"]
 DETERMINISM_PACKAGES = ("repro.sim", "repro.parallel", "repro.queueing")
 
 #: The simulator's event hot paths (rule RPR007/RPR008 scope).
-SIM_PACKAGES = ("repro.sim",)
+#: ``repro.core`` joined when the comparator grew engine selection —
+#: its measure/sweep path now feeds seeded workloads to both engines,
+#: so unstable iteration there would skew results just like in the
+#: simulator proper.
+SIM_PACKAGES = ("repro.sim", "repro.core")
 
 #: Suffixes that mark a name as seconds-valued by project convention
 #: (DESIGN.md §6: all times in SI seconds; ``*_ms`` names are the only

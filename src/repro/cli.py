@@ -350,6 +350,17 @@ def _add_common_args(parser: argparse.ArgumentParser) -> None:
         help="require --checkpoint to already exist (fail fast on a "
         "mistyped path instead of silently recomputing from scratch)",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="run under cProfile: print the top 25 functions by "
+        "cumulative time to stderr after the run, and dump raw pstats "
+        "data to PATH when given (load with pstats.Stats(PATH) or "
+        "snakeviz)",
+    )
 
 
 def _sized_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -538,8 +549,24 @@ def main(argv: list[str] | None = None) -> int:
             session = _TelemetrySession(
                 args.telemetry, args.telemetry_window, args.command
             )
+    profile = getattr(args, "profile", None)
     try:
-        return _dispatch(args)
+        if profile is None:
+            return _dispatch(args)
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        try:
+            return prof.runcall(_dispatch, args)
+        finally:
+            # Stats go to stderr so `repro ... --profile > out.txt` still
+            # captures clean experiment output on stdout.
+            stats = pstats.Stats(prof, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+            if profile:
+                prof.dump_stats(profile)
+                print(f"wrote pstats data to {profile}", file=sys.stderr)
     finally:
         if session is not None:
             session.finish()

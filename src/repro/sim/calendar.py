@@ -1,0 +1,268 @@
+"""Event calendars for the simulation engine.
+
+Two interchangeable priority structures over ``(time, seq, callback,
+args)`` entries, both popping in exact ``(time, seq)`` order so the
+engine's deterministic tie-break (insertion order within a timestamp) is
+preserved bit-for-bit whichever calendar is active:
+
+* :class:`HeapCalendar` — the classic binary heap (``heapq``).  O(log n)
+  per operation, no tuning, and the reference implementation the
+  bit-identity tests pin the calendar queue against.
+* :class:`CalendarQueue` — a bucketed calendar queue (Brown 1988): the
+  near future is split into fixed-width buckets sized from the *mean
+  event horizon* of the pending set, giving O(1) amortized inserts
+  (``list.append`` into a bucket) and pops (advance a cursor, lazily
+  sorting each bucket on first touch with Timsort).  Events beyond the
+  current epoch — far-future outliers such as outage windows or trace
+  tails — fall back to an overflow heap and migrate into buckets when
+  the epoch rolls, so a handful of distant events cannot force a sparse,
+  cache-hostile layout on the hot near-term traffic.
+
+Entries are plain tuples and ``(time, seq)`` is unique, so all ordering
+comparisons resolve before ever reaching the callback element — the same
+property the heap relies on.  The queue resizes itself (rebuilds the
+bucket layout) when the pending count doubles past or shrinks far below
+the bucket count, keeping ~O(1) occupancy per bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import Any
+
+__all__ = ["HeapCalendar", "CalendarQueue"]
+
+#: An entry is ``(time, seq, callback, args)``.
+Entry = tuple[float, int, Any, tuple]
+
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 1 << 16
+#: Bucket width fallback when the pending set has zero time spread.
+_TINY_WIDTH = 1e-9
+
+
+class HeapCalendar:
+    """Binary-heap event calendar (the pre-calendar-queue engine core)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        heappush(self._heap, entry)
+
+    def peek(self) -> Entry | None:
+        heap = self._heap
+        return heap[0] if heap else None
+
+    def pop(self) -> Entry:
+        return heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class CalendarQueue:
+    """Bucketed calendar queue with an overflow heap for the far future."""
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_width",
+        "_invw",
+        "_start",
+        "_limit",
+        "_cursor",
+        "_pos",
+        "_is_sorted",
+        "_overflow",
+        "_len",
+        "_grow_at",
+        "_shrink_at",
+        "_last_time",
+    )
+
+    def __init__(self) -> None:
+        self._buckets: list[list[Entry]] = []
+        self._overflow: list[Entry] = []
+        self._len = 0
+        self._cursor = 0
+        self._pos = 0
+        self._nbuckets = 0
+        self._last_time = 0.0
+        self._rebuild([])
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def push(self, entry: Entry) -> None:
+        t = entry[0]
+        self._len += 1
+        if t >= self._limit:
+            heappush(self._overflow, entry)
+        else:
+            i = int((t - self._start) * self._invw)
+            cursor = self._cursor
+            if i <= cursor:
+                # Into the bucket currently being drained (or, before the
+                # first pop of an epoch, before its start): keep it
+                # ordered relative to the not-yet-popped tail.
+                bucket = self._buckets[cursor]
+                if self._is_sorted:
+                    insort(bucket, entry, self._pos)
+                else:
+                    bucket.append(entry)
+            else:
+                if i >= self._nbuckets:
+                    i = self._nbuckets - 1
+                self._buckets[i].append(entry)
+        if self._len > self._grow_at:
+            self._rebuild(self._gather())
+
+    def peek(self) -> Entry | None:
+        """The next ``(time, seq)``-ordered entry, or ``None`` if empty."""
+        if self._len == 0:
+            return None
+        while True:
+            bucket = self._buckets[self._cursor]
+            if self._pos < len(bucket):
+                if not self._is_sorted:
+                    bucket.sort()  # (time, seq) unique: callbacks never compared
+                    self._is_sorted = True
+                return bucket[self._pos]
+            if self._cursor + 1 < self._nbuckets:
+                bucket.clear()  # free consumed entries
+                self._cursor += 1
+                self._pos = 0
+                self._is_sorted = False
+            else:
+                # Epoch exhausted; everything pending sits in the
+                # overflow heap.  Re-lay buckets around it.
+                self._rebuild(self._gather())
+
+    def pop(self) -> Entry:
+        """Remove and return the head entry (must be non-empty)."""
+        if self._len == 0:
+            raise IndexError("pop from an empty calendar")
+        # Inlined peek() fast path: after the engine's peek() the current
+        # bucket is already sorted and positioned, so the common case is
+        # one index — no second bucket scan per event.
+        while True:
+            bucket = self._buckets[self._cursor]
+            pos = self._pos
+            if pos < len(bucket):
+                if not self._is_sorted:
+                    bucket.sort()  # (time, seq) unique: callbacks never compared
+                    self._is_sorted = True
+                entry = bucket[pos]
+                self._pos = pos + 1
+                self._len -= 1
+                self._last_time = entry[0]
+                if self._len < self._shrink_at:
+                    self._rebuild(self._gather())
+                return entry
+            if self._cursor + 1 < self._nbuckets:
+                bucket.clear()  # free consumed entries
+                self._cursor += 1
+                self._pos = 0
+                self._is_sorted = False
+            else:
+                self._rebuild(self._gather())
+
+    # -- internals -------------------------------------------------------
+    def _gather(self) -> list[Entry]:
+        """Drain every pending entry out of buckets + overflow."""
+        out: list[Entry] = []
+        buckets = self._buckets
+        if buckets:
+            out.extend(buckets[self._cursor][self._pos :])
+            for i in range(self._cursor + 1, self._nbuckets):
+                out.extend(buckets[i])
+        out.extend(self._overflow)
+        self._overflow = []
+        return out
+
+    def _rebuild(self, pending: list[Entry]) -> None:
+        """Lay out a new epoch sized to the pending set.
+
+        Bucket count tracks the pending count (power of two, clamped);
+        bucket width is keyed on the *mean event horizon* — the average
+        distance of pending events from the earliest one — so the epoch
+        spans roughly twice the bulk of the distribution and far-future
+        outliers land in the overflow heap instead of stretching it.
+        """
+        n = len(pending)
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < n and nbuckets < _MAX_BUCKETS:
+            nbuckets <<= 1
+        degenerate = False
+        if n:
+            tmin = math.inf
+            tsum = 0.0
+            for e in pending:
+                t = e[0]
+                if t < tmin:
+                    tmin = t
+                tsum += t
+            if math.isfinite(tmin):
+                start = tmin
+                horizon = tsum / n - start
+                width = 4.0 * horizon / nbuckets if horizon > 0.0 else _TINY_WIDTH
+                if not (0.0 < width < math.inf):
+                    # Far-future outliers blew up the mean; fall back to a
+                    # single-bucket (sorted list) epoch rather than a NaN
+                    # layout.
+                    degenerate = True
+                    start = tmin
+                    width = math.inf
+            else:
+                # Every pending time is +inf: single-bucket epoch keyed
+                # off the last popped time so future finite pushes still
+                # order ahead of the infinities.
+                degenerate = True
+                start = self._last_time
+                width = math.inf
+        else:
+            start = self._last_time
+            width = _TINY_WIDTH
+        if len(self._buckets) == nbuckets:
+            for b in self._buckets:
+                b.clear()
+        else:
+            self._buckets = [[] for _ in range(nbuckets)]
+        self._nbuckets = nbuckets
+        self._width = width
+        self._invw = 1.0 / width
+        self._start = start
+        self._limit = limit = start + nbuckets * width
+        self._cursor = 0
+        self._pos = 0
+        self._is_sorted = False
+        self._grow_at = (nbuckets << 1) if nbuckets < _MAX_BUCKETS else (1 << 62)
+        self._shrink_at = (nbuckets >> 3) if nbuckets > _MIN_BUCKETS else 0
+        buckets = self._buckets
+        if degenerate:
+            # Single sorted-list mode: everything (infinities included)
+            # lives in bucket 0, so peek() always finds a head there.
+            buckets[0].extend(pending)
+            return
+        overflow = self._overflow
+        invw = self._invw
+        last = nbuckets - 1
+        for e in pending:
+            t = e[0]
+            if t >= limit:
+                overflow.append(e)
+            else:
+                i = int((t - start) * invw)
+                buckets[i if i < last else last].append(e)
+        heapify(overflow)

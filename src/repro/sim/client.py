@@ -83,7 +83,9 @@ class OpenLoopSource:
         # `Distribution.sample` call per event (the dominant per-event
         # cost of a source in profile).  The block comes from the
         # source's private stream, so results are deterministic per seed.
-        self._gaps: np.ndarray | None = None
+        # Stored as a plain list (bulk tolist() per refill) so each event
+        # pays a list index, not a NumPy scalar extraction.
+        self._gaps: list[float] | None = None
         self._gap_i = 0
         self._block = _FIRST_BLOCK
         sim.schedule(self._next_gap(), self._fire)
@@ -91,15 +93,17 @@ class OpenLoopSource:
     def _next_gap(self) -> float:
         gaps = self._gaps
         i = self._gap_i
-        if gaps is None or i >= gaps.size:
+        if gaps is None or i >= len(gaps):
             n = self._block
             self._block = min(2 * n, _MAX_BLOCK)
-            self._gaps = gaps = np.asarray(
-                self.interarrival.sample(self._rng, n), dtype=float
-            ).reshape(n)
+            self._gaps = gaps = (
+                np.asarray(self.interarrival.sample(self._rng, n), dtype=float)
+                .reshape(n)
+                .tolist()
+            )
             i = 0
         self._gap_i = i + 1
-        return float(gaps[i])
+        return gaps[i]
 
     def _fire(self) -> None:
         if self.sim.now >= self.stop_time:
@@ -162,8 +166,11 @@ class ClosedLoopSource:
         self._mine: set[int] = set()
         self._prev_hook = target.on_complete
         target.on_complete = self._on_complete
-        for _ in range(self.users):
-            sim.schedule(float(self.think.sample(self._rng)), self._send)
+        # One batch insert for the initial think times: draws happen in
+        # user order exactly as sequential schedule() calls would, so the
+        # calendar tie-break (and thus the run) is unchanged.
+        delays = [float(self.think.sample(self._rng)) for _ in range(self.users)]
+        sim.schedule_batch(delays, self._send)
 
     @property
     def outstanding(self) -> int:

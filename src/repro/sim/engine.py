@@ -1,9 +1,16 @@
 """Event-calendar core of the discrete-event simulator.
 
-A :class:`Simulation` owns the virtual clock, a binary-heap event
-calendar and the master random generator.  Events are plain callbacks;
-ties in time are broken deterministically by insertion order, so a run
-is fully reproducible given its seed.
+A :class:`Simulation` owns the virtual clock, an event calendar and the
+master random generator.  Events are plain callbacks; ties in time are
+broken deterministically by insertion order, so a run is fully
+reproducible given its seed.
+
+The calendar is pluggable (:mod:`repro.sim.calendar`): the default is a
+bucketed calendar queue with O(1) amortized scheduling; ``calendar=
+"heap"`` (or ``REPRO_CALENDAR=heap``) selects the classic binary heap.
+Both pop in exact ``(time, insertion-seq)`` order, so results are
+bit-identical whichever backend is active — pinned by the engine tests
+and the golden campaign matrix.
 
 The engine is deliberately minimal (schedule / run / stop): processes
 like stations and sources are built on top as callback-driven state
@@ -13,9 +20,9 @@ generator-based process abstraction for this workload shape.
 
 from __future__ import annotations
 
-import heapq
+import os
 from itertools import count
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Any
 
 import numpy as np
@@ -23,6 +30,7 @@ import numpy as np
 from repro.analysis.invariants import checker_for_new_simulation
 from repro.obs.provider import current_telemetry
 from repro.parallel.seeding import seed_sequence, spawn_child
+from repro.sim.calendar import CalendarQueue, HeapCalendar
 
 __all__ = ["EventBudgetExceeded", "Simulation"]
 
@@ -47,6 +55,71 @@ class EventBudgetExceeded(RuntimeError):
         self.now = now
 
 
+# One dispatch-loop template specialized four ways — (budgeted?, checked?)
+# — instead of three hand-maintained near-identical loops.  The optional
+# lines are spliced in at import time and compiled once, so the common
+# unbudgeted/unchecked path contains *no* budget counter and *no*
+# invariant guards: the zero-cost-when-off property is structural, not a
+# runtime branch (pinned by the on/off bit-identity tests).
+_LOOP_TEMPLATE = """\
+def _dispatch(sim, calendar, until, max_events, invariants):
+    peek = calendar.peek
+    pop = calendar.pop
+{budget_init}
+    while not sim._stopped:
+        head = peek()
+        if head is None:
+            # Calendar drained: nothing can ever fire again.
+            if until is not None and until > sim.now:
+                sim.now = until
+            return
+        time = head[0]
+        if until is not None and time > until:
+            sim.now = until
+            return
+{budget_check}
+        pop()
+{check_pre}
+        sim.now = time
+        head[2](*head[3])
+{check_post}
+{budget_count}
+    # stopped: leave the clock where the last event put it
+"""
+
+
+def _build_dispatch(budgeted: bool, checked: bool):
+    src = _LOOP_TEMPLATE.format(
+        budget_init="    executed = 0" if budgeted else "",
+        budget_check=(
+            "        if executed >= max_events:\n"
+            "            raise EventBudgetExceeded(max_events, sim.now)"
+            if budgeted
+            else ""
+        ),
+        check_pre=(
+            "        invariants.check_event_time(time, sim.now)" if checked else ""
+        ),
+        check_post=(
+            "        invariants.check_handler_left_clock(time, sim.now)"
+            if checked
+            else ""
+        ),
+        budget_count="        executed += 1" if budgeted else "",
+    )
+    namespace: dict[str, Any] = {"EventBudgetExceeded": EventBudgetExceeded}
+    filename = f"<repro.sim.engine dispatch budgeted={budgeted} checked={checked}>"
+    exec(compile(src, filename, "exec"), namespace)
+    return namespace["_dispatch"]
+
+
+_DISPATCH = {
+    (budgeted, checked): _build_dispatch(budgeted, checked)
+    for budgeted in (False, True)
+    for checked in (False, True)
+}
+
+
 class Simulation:
     """Discrete-event simulation kernel.
 
@@ -61,6 +134,12 @@ class Simulation:
         (:func:`repro.obs.install`); the default is ``None`` — no
         telemetry, and the simulator runs exactly as before the
         observability layer existed.
+    calendar:
+        Event-calendar backend: ``"calendar"`` (bucketed calendar queue,
+        the default) or ``"heap"`` (binary heap).  ``None`` consults the
+        ``REPRO_CALENDAR`` environment variable, falling back to
+        ``"calendar"``.  Both produce bit-identical runs; the knob exists
+        for benchmarking and for pinning the equivalence in tests.
 
     Attributes
     ----------
@@ -74,7 +153,7 @@ class Simulation:
         hot path never pays for disabled observability.
     """
 
-    def __init__(self, seed: int | None = 0, telemetry=None):
+    def __init__(self, seed: int | None = 0, telemetry=None, calendar: str | None = None):
         self.now: float = 0.0
         self._seedseq = seed_sequence(seed)
         self.rng = np.random.default_rng(self._seedseq)
@@ -85,7 +164,14 @@ class Simulation:
         # unless REPRO_CHECK is set, and every hook site guards on that —
         # the disabled hot paths are exactly the pre-checker ones.
         self.invariants = checker_for_new_simulation()
-        self._calendar: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        kind = calendar if calendar is not None else os.environ.get("REPRO_CALENDAR", "calendar")
+        if kind == "calendar":
+            self._calendar: CalendarQueue | HeapCalendar = CalendarQueue()
+        elif kind == "heap":
+            self._calendar = HeapCalendar()
+        else:
+            raise ValueError(f"calendar must be 'calendar' or 'heap', got {kind!r}")
+        self.calendar_kind = kind
         self._seq = count()
         self._running = False
         self._stopped = False
@@ -112,13 +198,32 @@ class Simulation:
         """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        self.schedule_at(self.now + delay, callback, *args)
+        self._calendar.push((self.now + delay, next(self._seq), callback, args))
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` at absolute virtual ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule at {time} < now ({self.now})")
-        heapq.heappush(self._calendar, (time, next(self._seq), callback, args))
+        self._calendar.push((time, next(self._seq), callback, args))
+
+    def schedule_batch(
+        self, delays: Iterable[float], callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` once per delay, in iteration order.
+
+        Semantically identical to calling :meth:`schedule` for each delay
+        in turn — insertion sequence numbers (the deterministic tie-break)
+        are allocated in iteration order — but the calendar is touched
+        through one bound method in one loop, so sources and stations can
+        insert runs of events without per-call dispatch overhead.
+        """
+        now = self.now
+        push = self._calendar.push
+        seq = self._seq
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"delay must be >= 0, got {delay}")
+            push((now + delay, next(seq), callback, args))
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Execute events in time order.
@@ -146,72 +251,10 @@ class Simulation:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self._running = True
         self._stopped = False
-        # Hot loop: localize the calendar and heappop (CPython attribute
-        # and global lookups cost ~20% of a pure-dispatch event loop; the
-        # profile is dominated by this function for large runs).  `now`
-        # and `_stopped` stay as attribute accesses — callbacks mutate
-        # them mid-loop.
-        calendar = self._calendar
-        pop = heapq.heappop
         invariants = self.invariants
+        dispatch = _DISPATCH[(max_events is not None, invariants is not None)]
         try:
-            if max_events is not None:
-                # Budgeted dispatch loop (campaign resource governor):
-                # kept separate so the unbudgeted paths below stay
-                # counter-free.  Event counts are deterministic per seed,
-                # so budget exhaustion is bit-identical across runs.
-                executed = 0
-                while calendar and not self._stopped:
-                    head = calendar[0]
-                    time = head[0]
-                    if until is not None and time > until:
-                        self.now = until
-                        break
-                    if executed >= max_events:
-                        raise EventBudgetExceeded(max_events, self.now)
-                    pop(calendar)
-                    if invariants is not None:
-                        invariants.check_event_time(time, self.now)
-                    self.now = time
-                    head[2](*head[3])
-                    if invariants is not None:
-                        invariants.check_handler_left_clock(time, self.now)
-                    executed += 1
-                else:
-                    if until is not None and not self._stopped:
-                        self.now = max(self.now, until)
-            elif invariants is None:
-                while calendar and not self._stopped:
-                    head = calendar[0]
-                    time = head[0]
-                    if until is not None and time > until:
-                        self.now = until
-                        break
-                    pop(calendar)
-                    self.now = time
-                    head[2](*head[3])
-                else:
-                    if until is not None and not self._stopped:
-                        self.now = max(self.now, until)
-            else:
-                # Checked dispatch loop (REPRO_CHECK=1): same semantics,
-                # plus per-event monotonicity and a clock-ownership check
-                # after each handler.  Kept as a separate loop so the
-                # common disabled path above pays nothing.
-                while calendar and not self._stopped:
-                    head = calendar[0]
-                    time = head[0]
-                    if until is not None and time > until:
-                        self.now = until
-                        break
-                    pop(calendar)
-                    invariants.check_event_time(time, self.now)
-                    self.now = time
-                    head[2](*head[3])
-                    invariants.check_handler_left_clock(time, self.now)
-                else:
-                    if until is not None and not self._stopped:
-                        self.now = max(self.now, until)
+            dispatch(self, self._calendar, until, max_events, invariants)
         finally:
             self._running = False
         if self.telemetry is not None and not self._calendar:

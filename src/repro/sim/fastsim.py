@@ -8,8 +8,14 @@ sequence is fully determined by the recursion
     start_i = max(arrival_i, earliest server free time)
 
 maintained in a size-c min-heap of server free times — O(n log c) with
-no event objects.  The engine and this path are cross-validated in the
-integration tests; both must agree with exact M/M/k theory.
+no event objects.  On top of the single queue this module covers the
+paper's actual topologies: k independent edge sites
+(:func:`simulate_edge_system`), the cloud central queue
+(:func:`simulate_single_queue_system`), and the cloud behind a
+round-robin or join-shortest-queue load balancer
+(:func:`simulate_lb_system`).  The engine and these paths are
+cross-validated in the integration tests; both must agree with exact
+M/M/k theory.
 """
 
 from __future__ import annotations
@@ -18,11 +24,12 @@ import heapq
 
 import numpy as np
 
-from repro.sim.network import LatencyModel
+from repro.sim.network import ConstantLatency, LatencyModel
 
 __all__ = [
     "simulate_fcfs_queue",
     "simulate_single_queue_system",
+    "simulate_lb_system",
     "simulate_edge_system",
     "SystemResult",
 ]
@@ -62,33 +69,47 @@ def simulate_fcfs_queue(
 
     if servers == 1:
         return _lindley_single(a, s)
+    return _kw_heap(a, s, servers)
 
+
+def _kw_heap(a: np.ndarray, s: np.ndarray, servers: int) -> np.ndarray:
+    """Kiefer–Wolfowitz recursion over a min-heap of server free times.
+
+    Operates on plain Python lists (one bulk ``tolist()`` per array):
+    element loads are list indexing and the arithmetic is float-on-float,
+    which is ~3× faster in CPython than per-element ndarray access with
+    bit-identical IEEE results.
+    """
     free = [0.0] * servers  # min-heap of server free times
-    waits = np.empty_like(a)
+    arrivals = a.tolist()
+    services = s.tolist()
+    waits = [0.0] * len(arrivals)
     push, pop = heapq.heappush, heapq.heappop
-    for i in range(a.size):
+    for i, ai in enumerate(arrivals):
         t = pop(free)
-        start = t if t > a[i] else a[i]
-        waits[i] = start - a[i]
-        push(free, start + s[i])
-    return waits
+        start = t if t > ai else ai
+        waits[i] = start - ai
+        push(free, start + services[i])
+    return np.asarray(waits)
 
 
 def _lindley_single(a: np.ndarray, s: np.ndarray) -> np.ndarray:
     """Lindley recursion W_{i+1} = max(0, W_i + s_i - (a_{i+1} - a_i))."""
-    waits = np.empty_like(a)
+    arrivals = a.tolist()
+    services = s.tolist()
+    waits = [0.0] * len(arrivals)
     w = 0.0
-    waits[0] = 0.0
-    prev_a = a[0]
-    prev_s = s[0]
-    for i in range(1, a.size):
-        w = w + prev_s - (a[i] - prev_a)
+    prev_a = arrivals[0]
+    prev_s = services[0]
+    for i in range(1, len(arrivals)):
+        ai = arrivals[i]
+        w = w + prev_s - (ai - prev_a)
         if w < 0.0:
             w = 0.0
         waits[i] = w
-        prev_a = a[i]
-        prev_s = s[i]
-    return waits
+        prev_a = ai
+        prev_s = services[i]
+    return np.asarray(waits)
 
 
 class SystemResult:
@@ -140,14 +161,6 @@ class SystemResult:
         )
 
 
-def _sample_rtts(latency: LatencyModel, n: int, rng: np.random.Generator) -> np.ndarray:
-    """Round-trip times as the sum of two independently sampled legs."""
-    out = np.empty(n)
-    for i in range(n):
-        out[i] = latency.sample_oneway(rng) + latency.sample_oneway(rng)
-    return out
-
-
 def simulate_single_queue_system(
     arrival_times: np.ndarray,
     service_times: np.ndarray,
@@ -164,18 +177,13 @@ def simulate_single_queue_system(
     rng = np.random.default_rng(0) if rng is None else rng
     a = np.asarray(arrival_times, dtype=float)
     s = np.asarray(service_times, dtype=float)
-    from repro.sim.network import ConstantLatency  # local import to avoid cycle noise
 
     if isinstance(latency, ConstantLatency):
         rtts = np.full(a.size, latency.mean_rtt)
         shifted = a + rtts / 2.0
     else:
-        legs_out = np.fromiter(
-            (latency.sample_oneway(rng) for _ in range(a.size)), dtype=float, count=a.size
-        )
-        legs_back = np.fromiter(
-            (latency.sample_oneway(rng) for _ in range(a.size)), dtype=float, count=a.size
-        )
+        legs_out = latency.sample_oneway_batch(rng, a.size)
+        legs_back = latency.sample_oneway_batch(rng, a.size)
         rtts = legs_out + legs_back
         shifted = a + legs_out
         order = np.argsort(shifted, kind="stable")
@@ -188,6 +196,151 @@ def simulate_single_queue_system(
     waits = simulate_fcfs_queue(shifted, s, servers)
     e2e = rtts + waits + s
     return SystemResult(e2e, waits, s, rtts, np.zeros(a.size, dtype=np.int64), a)
+
+
+def _jsq_waits(
+    a: np.ndarray,
+    s: np.ndarray,
+    backends: int,
+    servers_per_backend: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Waiting times under join-shortest-queue dispatch to FCFS backends.
+
+    Tracks, per backend, a heap of in-system departure times (the JSQ
+    occupancy signal — waiting + in service, exactly what the DES
+    ``JoinShortestQueue`` policy reads) and a Kiefer–Wolfowitz heap of
+    server free times.  Ties are broken uniformly at random, matching the
+    DES policy's behaviour statistically (the streams differ, so this
+    path is validated against the DES by distribution, not bitwise).
+    """
+    arrivals = a.tolist()
+    services = s.tolist()
+    waits = [0.0] * len(arrivals)
+    in_system: list[list[float]] = [[] for _ in range(backends)]
+    free: list[list[float]] = [[0.0] * servers_per_backend for _ in range(backends)]
+    push, pop = heapq.heappush, heapq.heappop
+    integers = rng.integers
+    for i, t in enumerate(arrivals):
+        best = 0
+        best_occ = None
+        ties = 1
+        for b in range(backends):
+            dep = in_system[b]
+            while dep and dep[0] <= t:
+                pop(dep)
+            occ = len(dep)
+            if best_occ is None or occ < best_occ:
+                best_occ = occ
+                best = b
+                ties = 1
+            elif occ == best_occ:
+                ties += 1
+        if ties > 1:
+            # uniform choice among the tied backends, as in the DES policy
+            pick = int(integers(ties))
+            for b in range(backends):
+                if len(in_system[b]) == best_occ:
+                    if pick == 0:
+                        best = b
+                        break
+                    pick -= 1
+        chosen_free = free[best]
+        tf = pop(chosen_free)
+        start = tf if tf > t else t
+        waits[i] = start - t
+        end = start + services[i]
+        push(chosen_free, end)
+        push(in_system[best], end)
+    return np.asarray(waits)
+
+
+def simulate_lb_system(
+    arrival_times: np.ndarray,
+    service_times: np.ndarray,
+    servers: int,
+    latency: LatencyModel,
+    rng: np.random.Generator | None = None,
+    *,
+    policy: str = "round-robin",
+    backends: int | None = None,
+    lb_overhead: float = 0.0,
+) -> SystemResult:
+    """Simulate a cloud deployment behind a load balancer.
+
+    The paper's real cloud runs HAProxy in front of ``backends`` server
+    groups rather than the idealized central queue; this is the fastsim
+    counterpart of :class:`~repro.sim.topology.CloudDeployment` with a
+    dispatch policy.  Requests reach the LB after their outbound network
+    leg (plus ``lb_overhead``), are dispatched to per-backend FCFS queues
+    in LB-arrival order, and return over the second leg.
+
+    Parameters
+    ----------
+    servers:
+        Total servers, divided evenly among ``backends`` (must divide,
+        mirroring :class:`~repro.sim.topology.CloudDeployment`).
+    policy:
+        ``"round-robin"`` (HAProxy default; backend ``i % backends`` in
+        LB-arrival order — exactly the DES policy's assignment) or
+        ``"jsq"`` (join shortest queue / HAProxy ``leastconn``).
+    backends:
+        Backend count (default: one backend per server).
+    lb_overhead:
+        Extra one-way delay through the balancer, seconds.
+    """
+    rng = np.random.default_rng(0) if rng is None else rng
+    a = np.asarray(arrival_times, dtype=float)
+    s = np.asarray(service_times, dtype=float)
+    if a.ndim != 1 or a.shape != s.shape:
+        raise ValueError("arrival_times and service_times must be aligned 1-D arrays")
+    if policy not in ("round-robin", "jsq"):
+        raise ValueError(f"policy must be 'round-robin' or 'jsq', got {policy!r}")
+    if backends is None:
+        backends = servers
+    if backends < 1:
+        raise ValueError(f"backends must be >= 1, got {backends}")
+    if servers % backends != 0:
+        raise ValueError(f"servers ({servers}) must divide evenly among {backends} backends")
+    if lb_overhead < 0:
+        raise ValueError(f"lb_overhead must be >= 0, got {lb_overhead}")
+    per_backend = servers // backends
+    n = a.size
+    if n == 0:
+        empty = np.empty(0)
+        return SystemResult(empty, empty, empty, empty, np.empty(0, dtype=np.int64), empty)
+
+    if isinstance(latency, ConstantLatency):
+        rtts = np.full(n, latency.mean_rtt)
+        at_lb = a + (latency.mean_rtt / 2.0 + lb_overhead)
+        order = None
+    else:
+        legs_out = latency.sample_oneway_batch(rng, n)
+        legs_back = latency.sample_oneway_batch(rng, n)
+        rtts = legs_out + legs_back
+        at_lb = a + (legs_out + lb_overhead)
+        order = np.argsort(at_lb, kind="stable")
+        at_lb = at_lb[order]
+
+    dispatch_s = s if order is None else s[order]
+    if policy == "round-robin":
+        waits = np.empty(n)
+        for b in range(backends):
+            waits[b::backends] = simulate_fcfs_queue(
+                at_lb[b::backends], dispatch_s[b::backends], per_backend
+            )
+    else:
+        waits = _jsq_waits(at_lb, dispatch_s, backends, per_backend, rng)
+
+    if order is not None:
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.size)
+        waits = waits[inverse]
+    # The balancer sits on the inbound path only, mirroring the DES
+    # CloudDeployment (responses bypass it).
+    network = rtts + lb_overhead if lb_overhead else rtts
+    e2e = network + waits + s
+    return SystemResult(e2e, waits, s, network, np.zeros(n, dtype=np.int64), a)
 
 
 def simulate_edge_system(

@@ -37,6 +37,20 @@ class LatencyModel(ABC):
     def sample_oneway(self, rng: np.random.Generator) -> float:
         """Draw one one-way delay in seconds (non-negative)."""
 
+    def sample_oneway_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` one-way delays in one call.
+
+        Bit-identical to ``n`` sequential :meth:`sample_oneway` draws
+        from the same generator — NumPy's vectorized samplers consume
+        the bit stream element by element exactly as scalar calls do —
+        so the fastsim topology path can vectorize network legs without
+        perturbing any seeded result.  Subclasses override with a true
+        vectorized draw; this fallback just loops.
+        """
+        return np.fromiter(
+            (self.sample_oneway(rng) for _ in range(n)), dtype=float, count=n
+        )
+
     def is_lost(self, rng: np.random.Generator, now: float = 0.0) -> bool:
         """Whether a packet sent at virtual time ``now`` is lost.
 
@@ -71,6 +85,9 @@ class ConstantLatency(LatencyModel):
 
     def sample_oneway(self, rng: np.random.Generator) -> float:
         return self._rtt / 2.0
+
+    def sample_oneway_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self._rtt / 2.0)  # no randomness consumed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ConstantLatency(rtt={self._rtt * 1e3:.3f} ms)"
@@ -115,6 +132,9 @@ class NormalJitterLatency(LatencyModel):
     def sample_oneway(self, rng: np.random.Generator) -> float:
         return max(self.floor, rng.normal(self._rtt / 2.0, self.jitter_std))
 
+    def sample_oneway_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.maximum(self.floor, rng.normal(self._rtt / 2.0, self.jitter_std, n))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"NormalJitterLatency(rtt={self._rtt * 1e3:.3f} ms, "
@@ -154,6 +174,9 @@ class LognormalLatency(LatencyModel):
 
     def sample_oneway(self, rng: np.random.Generator) -> float:
         return self.floor + rng.lognormal(self._mu, np.sqrt(self._sigma2))
+
+    def sample_oneway_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.floor + rng.lognormal(self._mu, np.sqrt(self._sigma2), n)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LognormalLatency(rtt={self._rtt * 1e3:.3f} ms, cv2={self.cv2})"
@@ -208,6 +231,9 @@ class LossyLatency(LatencyModel):
 
     def sample_oneway(self, rng: np.random.Generator) -> float:
         return self.inner.sample_oneway(rng)
+
+    def sample_oneway_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.inner.sample_oneway_batch(rng, n)
 
     def in_outage(self, now: float) -> bool:
         """Whether ``now`` falls inside a configured outage window."""

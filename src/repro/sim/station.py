@@ -132,8 +132,10 @@ class Station:
         # Service times are pre-sampled in geometrically growing blocks
         # (one vectorized draw instead of one Distribution.sample call
         # per service start); the block comes from the station's private
-        # stream, so per-seed determinism is unaffected.
-        self._svc_block: np.ndarray | None = None
+        # stream, so per-seed determinism is unaffected.  The block is
+        # kept as a plain list (one bulk tolist() per refill) so the
+        # per-event access is a list index, not a NumPy scalar extraction.
+        self._svc_block: list[float] | None = None
         self._svc_i = 0
         self._svc_n = 16
         # Exact time-integral accounting for utilization / queue length.
@@ -279,15 +281,17 @@ class Station:
     def _sample_service(self) -> float:
         block = self._svc_block
         i = self._svc_i
-        if block is None or i >= block.size:
+        if block is None or i >= len(block):
             n = self._svc_n
             self._svc_n = min(2 * n, 4096)
-            self._svc_block = block = np.asarray(
-                self.service_dist.sample(self._rng, n), dtype=float
-            ).reshape(n)
+            self._svc_block = block = (
+                np.asarray(self.service_dist.sample(self._rng, n), dtype=float)
+                .reshape(n)
+                .tolist()
+            )
             i = 0
         self._svc_i = i + 1
-        return float(block[i])
+        return block[i]
 
     def _start(self, request: Request) -> None:
         self._busy += 1

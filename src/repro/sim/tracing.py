@@ -1,16 +1,22 @@
 """Request-level metrics collection.
 
-:class:`RequestLog` accumulates completed requests and converts them to
-NumPy arrays on demand; :class:`LatencyBreakdown` is the columnar view
-(one array per latency component) used by the stats and experiments
-layers.  Keeping collection on the simulation's hot path allocation-free
-(append to lists, convert lazily) matters: tracing is the second-hottest
-code after the event loop.
+:class:`RequestLog` accumulates completed requests into preallocated
+struct-of-arrays NumPy buffers (grow-by-doubling), so the per-request
+hot-path cost is one row write instead of retaining a Python object per
+request, and the columnar conversion in :meth:`RequestLog.breakdown` is
+pure vectorized arithmetic instead of an O(n) Python loop.
+:class:`LatencyBreakdown` is the columnar view (one array per latency
+component) used by the stats and experiments layers.  The original
+:class:`~repro.sim.request.Request` objects are *not* retained;
+:attr:`RequestLog.requests` materializes equivalent lazy views on demand
+for the resilience/overload/observability code paths that still want
+per-request records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -69,51 +75,120 @@ class LatencyBreakdown:
         return sorted(set(self.site.tolist()))
 
 
-@dataclass
-class RequestLog:
-    """Sink for completed requests.
+# Column layout of RequestLog._data (float64).  Timestamps are stored
+# raw — the same five stamps a Request carries — so derived quantities
+# are computed with exactly the same IEEE operations as the Request
+# properties, and a lazy Request view can be reconstructed faithfully.
+_CREATED, _ARRIVED, _START, _END, _COMPLETED, _SERVICE, _RID, _PRIORITY, _DEGRADED = range(9)
+_COLS = 9
+_INITIAL_CAPACITY = 256
 
-    ``breakdown()`` memoizes its columnar conversion: summaries,
-    reports and live telemetry all ask for the same view repeatedly, and
-    rebuilding six arrays per call turns O(n) analysis into O(n·calls).
-    The cache is invalidated whenever the log length changes, so
-    interleaving ``add`` and ``breakdown`` (as windowed telemetry does)
-    always sees current data.
+
+class RequestLog:
+    """Sink for completed requests (struct-of-arrays storage).
+
+    ``add()`` writes one row into preallocated NumPy buffers that double
+    in capacity when full; ``breakdown()`` memoizes its columnar
+    conversion — summaries, reports and live telemetry all ask for the
+    same view repeatedly, and the cache is invalidated whenever the log
+    length changes, so interleaving ``add`` and ``breakdown`` (as
+    windowed telemetry does) always sees current data.
+
+    :attr:`requests` rebuilds :class:`Request` views from the stored
+    rows (also memoized per length).  The views carry every timestamp,
+    ``rid``, ``site``, ``priority``, ``service_time`` and ``degraded``
+    of the original; transient in-flight fields (``outcome``, ``op_id``,
+    ``attempt``, ``deadline``) are not persisted and read as their
+    defaults.
     """
 
-    requests: list[Request] = field(default_factory=list)
-    _cache: "LatencyBreakdown | None" = field(
-        default=None, repr=False, compare=False
-    )
-    _cache_len: int = field(default=-1, repr=False, compare=False)
+    __slots__ = ("_data", "_site", "_n", "_cache", "_cache_len", "_view", "_view_len")
+
+    def __init__(self) -> None:
+        self._data = np.empty((_INITIAL_CAPACITY, _COLS))
+        self._site = np.empty(_INITIAL_CAPACITY, dtype=object)
+        self._n = 0
+        self._cache: LatencyBreakdown | None = None
+        self._cache_len = -1
+        self._view: list[Request] | None = None
+        self._view_len = -1
 
     def add(self, request: Request) -> None:
         """Record a completed request."""
         if not request.is_complete:
             raise ValueError(f"request {request.rid} has not completed")
-        self.requests.append(request)
+        i = self._n
+        if i == self._site.size:
+            self._grow()
+        service = request.service_time
+        self._data[i] = (
+            request.created,
+            request.arrived,
+            request.service_start,
+            request.service_end,
+            request.completed,
+            math.nan if service is None else service,
+            request.rid,
+            request.priority,
+            request.degraded,
+        )
+        self._site[i] = request.site
+        self._n = i + 1
+
+    def _grow(self) -> None:
+        capacity = 2 * self._site.size
+        data = np.empty((capacity, _COLS))
+        data[: self._n] = self._data[: self._n]
+        site = np.empty(capacity, dtype=object)
+        site[: self._n] = self._site[: self._n]
+        self._data = data
+        self._site = site
 
     def __len__(self) -> int:
-        return len(self.requests)
+        return self._n
+
+    @property
+    def requests(self) -> list[Request]:
+        """Lazy per-request views of the stored rows (cached per length)."""
+        n = self._n
+        if self._view is not None and self._view_len == n:
+            return self._view
+        view: list[Request] = []
+        data = self._data
+        sites = self._site
+        for i in range(n):
+            created, arrived, start, end, completed, service, rid, priority, degraded = (
+                data[i].tolist()
+            )
+            r = Request(
+                int(rid),
+                site=sites[i],
+                created=created,
+                service_time=None if math.isnan(service) else service,
+                priority=int(priority),
+            )
+            r.arrived = arrived
+            r.service_start = start
+            r.service_end = end
+            r.completed = completed
+            r.degraded = bool(degraded)
+            view.append(r)
+        self._view = view
+        self._view_len = n
+        return view
 
     def breakdown(self) -> LatencyBreakdown:
         """Materialize the columnar latency view (cached per log length)."""
-        n = len(self.requests)
+        n = self._n
         if self._cache is not None and self._cache_len == n:
             return self._cache
-        created = np.empty(n)
-        e2e = np.empty(n)
-        wait = np.empty(n)
-        service = np.empty(n)
-        network = np.empty(n)
-        site = np.empty(n, dtype=object)
-        for i, r in enumerate(self.requests):
-            created[i] = r.created
-            e2e[i] = r.end_to_end
-            wait[i] = r.wait
-            service[i] = r.service_time
-            network[i] = r.network_time
-            site[i] = r.site
+        data = self._data[:n]
+        created = data[:, _CREATED].copy()
+        e2e = data[:, _COMPLETED] - data[:, _CREATED]
+        wait = data[:, _START] - data[:, _ARRIVED]
+        service = data[:, _SERVICE].copy()
+        network = e2e - (data[:, _END] - data[:, _ARRIVED])
+        site = self._site[:n].copy()
         self._cache = LatencyBreakdown(created, e2e, wait, service, network, site)
         self._cache_len = n
         return self._cache
