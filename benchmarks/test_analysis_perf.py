@@ -1,0 +1,93 @@
+"""Analyzer-cost guard: whole-program analysis must stay cheap.
+
+Runs ``repro.analysis`` over the real tree twice against a fresh cache —
+a cold pass (parse everything, link the call graph, run the three
+whole-program checks) and a warm pass (every file digest matches, so the
+cache replays findings and skips linking entirely) — then asserts:
+
+* **bit identity** — the warm pass reports exactly the findings of the
+  cold one; a cache that changes answers is worse than no cache;
+* **cold ≤ 30 s** — a full cold analysis of ``src/`` + ``tests/`` is a
+  pre-commit-scale cost, not a CI-only one;
+* **warm ≤ 0.2 × cold** — the incremental cache is the product here; if
+  replay costs more than a fifth of a cold run it has failed at its one
+  job (in practice the ratio is ~0.03).
+
+Measurements go to ``BENCH_analysis.json`` at the repo root.
+
+Run with::
+
+    pytest benchmarks/test_analysis_perf.py -s
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import analyze_project
+
+REPO = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO / "BENCH_analysis.json"
+
+TARGETS = [REPO / "src", REPO / "tests"]
+
+MAX_COLD_SECONDS = 30.0
+MAX_WARM_RATIO = 0.2
+
+
+@pytest.fixture(scope="module")
+def analysis_run(tmp_path_factory):
+    """One timed cold + warm analysis pair over the real tree."""
+    cache = tmp_path_factory.mktemp("analysis") / "cache.json"
+
+    t0 = time.perf_counter()
+    cold = analyze_project(TARGETS, cache_path=cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = analyze_project(TARGETS, cache_path=cache)
+    warm_s = time.perf_counter() - t0
+
+    payload = {
+        "files_checked": cold.files_checked,
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_ratio": round(warm_s / cold_s, 4) if cold_s else None,
+        "speedup": round(cold_s / warm_s, 1) if warm_s else None,
+        "findings": len(cold.findings),
+        "warm_files_parsed": warm.files_parsed,
+        "warm_whole_program_cached": warm.whole_program_cached,
+        "gates": {
+            "max_cold_seconds": MAX_COLD_SECONDS,
+            "max_warm_ratio": MAX_WARM_RATIO,
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nanalysis bench: {json.dumps(payload)}")
+    return cold, warm, cold_s, warm_s
+
+
+class TestAnalysisPerf:
+    def test_warm_findings_identical_to_cold(self, analysis_run):
+        cold, warm, _, _ = analysis_run
+        assert warm.findings == cold.findings
+
+    def test_warm_pass_replays_instead_of_reparsing(self, analysis_run):
+        _, warm, _, _ = analysis_run
+        assert warm.files_parsed == 0
+        assert warm.whole_program_cached
+
+    def test_cold_analysis_is_precommit_scale(self, analysis_run):
+        _, _, cold_s, _ = analysis_run
+        assert cold_s <= MAX_COLD_SECONDS, (
+            f"cold analysis took {cold_s:.1f}s > {MAX_COLD_SECONDS}s"
+        )
+
+    def test_warm_analysis_is_incremental(self, analysis_run):
+        _, _, cold_s, warm_s = analysis_run
+        assert warm_s <= MAX_WARM_RATIO * cold_s, (
+            f"warm {warm_s:.2f}s vs cold {cold_s:.2f}s: "
+            f"ratio {warm_s / cold_s:.2f} > {MAX_WARM_RATIO}"
+        )

@@ -1,0 +1,162 @@
+"""Checked-in findings baseline: the CI gate fails only on *new* findings.
+
+A whole-program analysis over-approximates: some findings are real but
+deliberate (an environment-variable kill switch read once in a
+constructor), and blocking every PR on them would train people to
+sprinkle suppressions.  The baseline records each accepted finding with
+a **justification**; CI compares the current run against it and fails
+only when a finding appears that is not in the baseline.
+
+Findings are matched by :func:`fingerprint` — a hash of
+``path | code | message`` with **no line numbers**, so reflowing a file
+does not churn the baseline (whole-program messages are written to be
+line-free for exactly this reason; the one exception, RPR103's
+"repeats line N" cross-reference, is accepted churn).
+
+Lifecycle:
+
+* a finding disappears from the run → its entry is *stale*; the runner
+  reports it so the baseline can be pruned (``--update-baseline``);
+* ``--update-baseline`` rewrites the file from the current findings,
+  **preserving the justifications** of entries that survive and
+  stamping ``TODO: justify`` on new ones — an unjustified entry is
+  visible in review, which is the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint",
+    "BaselineEntry",
+    "BaselineDiff",
+    "Baseline",
+    "update_baseline",
+]
+
+BASELINE_VERSION = 1
+
+#: Conventional location at the repository root.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+#: Justification stamped on entries added by ``--update-baseline``.
+TODO_JUSTIFICATION = "TODO: justify"
+
+
+def fingerprint(f: Finding) -> str:
+    """Stable identity of a finding: hash of path, code and message."""
+    digest = hashlib.sha256(f"{f.path}|{f.code}|{f.message}".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding with its reviewer-facing justification."""
+
+    fingerprint: str
+    path: str
+    code: str
+    message: str
+    justification: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "path": self.path,
+            "code": self.code,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineDiff:
+    """Result of comparing a run against the baseline."""
+
+    #: Findings not in the baseline — these fail the gate.
+    new: list[Finding] = field(default_factory=list)
+    #: Findings matched by a baseline entry — reported, not fatal.
+    baselined: list[Finding] = field(default_factory=list)
+    #: Baseline entries no finding matched — the baseline needs pruning.
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+@dataclass
+class Baseline:
+    """The checked-in set of accepted findings."""
+
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        doc = json.loads(path.read_text())
+        entries: dict[str, BaselineEntry] = {}
+        for raw in doc.get("findings", []):
+            entry = BaselineEntry(
+                fingerprint=str(raw["fingerprint"]),
+                path=str(raw.get("path", "")),
+                code=str(raw.get("code", "")),
+                message=str(raw.get("message", "")),
+                justification=str(raw.get("justification", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                self.entries[k].to_dict() for k in sorted(self.entries)
+            ],
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    def compare(self, findings: Iterable[Finding]) -> BaselineDiff:
+        """Split ``findings`` into new/baselined; list stale entries."""
+        diff = BaselineDiff()
+        matched: set[str] = set()
+        for f in findings:
+            fp = fingerprint(f)
+            if fp in self.entries:
+                matched.add(fp)
+                diff.baselined.append(f)
+            else:
+                diff.new.append(f)
+        diff.stale = [
+            self.entries[k] for k in sorted(self.entries) if k not in matched
+        ]
+        return diff
+
+
+def update_baseline(old: Baseline, findings: Sequence[Finding]) -> Baseline:
+    """Rebuild the baseline from the current findings.
+
+    Entries whose fingerprint survives keep their justification; brand
+    new entries get :data:`TODO_JUSTIFICATION` so review sees them.
+    Stale entries are dropped.
+    """
+    entries: dict[str, BaselineEntry] = {}
+    for f in findings:
+        fp = fingerprint(f)
+        kept = old.entries.get(fp)
+        entries[fp] = BaselineEntry(
+            fingerprint=fp,
+            path=f.path,
+            code=f.code,
+            message=f.message,
+            justification=kept.justification if kept is not None
+            else TODO_JUSTIFICATION,
+        )
+    return Baseline(entries=entries)

@@ -1,0 +1,371 @@
+"""Incremental analysis driver with an on-disk cache.
+
+Cold runs parse every file; warm runs re-analyze **only changed files
+and their reverse dependencies** and replay everything else from
+``.repro-analysis-cache.json``:
+
+* per file, the cache stores the content hash, the *raw* (pre-
+  suppression) leaf-rule findings, the suppression map, and the
+  call-graph :class:`~repro.analysis.callgraph.ModuleSummary` — the
+  expensive per-file work (one ``ast.parse`` + every rule + extraction)
+  is skipped when the hash matches;
+* the whole-program passes (purity RPR101, picklability RPR102,
+  seed-flow RPR103) run over the summaries, so they never require
+  re-parsing; their results are additionally cached against a digest of
+  every project file's content hash, making a no-change warm run skip
+  linking entirely;
+* the cache is keyed by :func:`rule_pack_digest` — any rule-pack or
+  extractor change (new rule, bumped ``RULE_PACK_VERSION`` /
+  ``ANALYSIS_VERSION``) invalidates every entry at once, so results
+  from an older pack are never replayed.
+
+Suppressions are applied *here*, after leaf and whole-program findings
+are merged per file, so a ``# repro: noqa[RPR101]`` on a sink line works
+exactly like a leaf-rule suppression and stale-noqa reporting (RPR000)
+sees both tiers.
+
+The cache file is plain JSON, written atomically (temp file +
+``os.replace``); deleting it is always safe and merely makes the next
+run cold.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.callgraph import (
+    ANALYSIS_VERSION,
+    ModuleSummary,
+    extract_module,
+    iter_project_summaries,
+    link,
+)
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    _module_name,
+    apply_suppressions,
+    collect_raw_findings,
+    iter_python_files,
+    parse_failure,
+    registered_rules,
+    suppressions_for,
+)
+from repro.analysis.purity import (
+    DEFAULT_HOT_ROOTS,
+    check_picklability,
+    check_purity,
+)
+from repro.analysis.rules import RULE_PACK_VERSION
+from repro.analysis.seedflow import check_seedflow
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "ProjectReport",
+    "rule_pack_digest",
+    "analyze_project",
+]
+
+#: Version of the cache file layout itself (not of the rules).
+CACHE_VERSION = 1
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_NAME = ".repro-analysis-cache.json"
+
+
+def rule_pack_digest(rules: Sequence[type[Rule]] | None = None) -> str:
+    """Digest identifying the exact analysis behaviour.
+
+    Covers the leaf-rule codes and summaries, the declared
+    ``RULE_PACK_VERSION``, the extractor's ``ANALYSIS_VERSION`` and the
+    cache layout version: if any of them moves, every cached per-file
+    result is stale by definition.
+    """
+    pack = rules if rules is not None else registered_rules()
+    h = hashlib.sha256()
+    h.update(f"cache={CACHE_VERSION};pack={RULE_PACK_VERSION};"
+             f"graph={ANALYSIS_VERSION};".encode())
+    for cls in sorted(pack, key=lambda c: c.code):
+        h.update(f"{cls.code}:{cls.summary};".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class ProjectReport:
+    """Everything one driver run produced, plus cache telemetry."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Files parsed and analyzed this run (cache misses + invalidated).
+    files_parsed: int = 0
+    #: Files replayed from the cache without re-parsing.
+    files_cached: int = 0
+    #: True when the whole-program result itself was replayed unchanged.
+    whole_program_cached: bool = False
+    #: Dynamic-dispatch names the linker could not resolve: name ->
+    #: first (caller qualname, line); reported once per name.
+    unknown_dispatch: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# Cache file I/O
+# --------------------------------------------------------------------------
+
+
+def _as_map(value: object) -> dict[str, object]:
+    return dict(value) if isinstance(value, Mapping) else {}
+
+
+def _as_list(value: object) -> list[object]:
+    return list(value) if isinstance(value, (list, tuple)) else []
+
+
+def _load_cache(cache_path: Path | None, pack: str) -> dict[str, object]:
+    """Load the cache file; an unreadable/mismatched cache is just empty."""
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        doc = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(doc, dict):
+        return {}
+    if doc.get("cache_version") != CACHE_VERSION or doc.get("pack") != pack:
+        return {}
+    return dict(doc)
+
+
+def _save_cache(
+    cache_path: Path,
+    pack: str,
+    records: Mapping[str, Mapping[str, object]],
+    wp: Mapping[str, object] | None,
+) -> None:
+    doc: dict[str, object] = {
+        "cache_version": CACHE_VERSION,
+        "pack": pack,
+        "files": {k: dict(v) for k, v in sorted(records.items())},
+    }
+    if wp is not None:
+        doc["wp"] = dict(wp)
+    tmp = cache_path.with_name(cache_path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, sort_keys=True))
+    os.replace(tmp, cache_path)
+
+
+def _finding_from_dict(d: Mapping[str, object]) -> Finding:
+    return Finding(
+        path=str(d["path"]),
+        line=int(d["line"]),  # type: ignore[call-overload]
+        col=int(d["col"]),  # type: ignore[call-overload]
+        code=str(d["code"]),
+        message=str(d["message"]),
+    )
+
+
+# --------------------------------------------------------------------------
+# The driver
+# --------------------------------------------------------------------------
+
+
+def _ancestors(module: str) -> list[str]:
+    """``repro.sim.engine`` -> itself plus every package prefix."""
+    parts = module.split(".")
+    return [".".join(parts[: i + 1]) for i in range(len(parts))]
+
+
+def _wp_state(
+    pack: str,
+    roots: Sequence[str],
+    records: Mapping[str, Mapping[str, object]],
+) -> str:
+    """Digest of everything the whole-program result depends on."""
+    h = hashlib.sha256()
+    h.update(pack.encode())
+    for root in sorted(roots):
+        h.update(f";root={root}".encode())
+    for key in sorted(records):
+        rec = records[key]
+        module = str(rec.get("module", ""))
+        if module == "repro" or module.startswith("repro."):
+            h.update(f";{key}={rec.get('digest', '')}".encode())
+    return h.hexdigest()
+
+
+def _analyze_one(
+    key: str,
+    source: str,
+    rules: Sequence[type[Rule]],
+    digest: str,
+) -> dict[str, object]:
+    """Full per-file analysis: leaf rules + suppressions + extraction."""
+    path = Path(key)
+    module = _module_name(path)
+    try:
+        tree = ast.parse(source, filename=key)
+    except SyntaxError as exc:
+        raw: list[Finding] = [parse_failure(path, exc)]
+        suppressions: dict[int, list[str]] = {}
+        summary = ModuleSummary(module=module, path=key)
+    else:
+        ctx = FileContext(path, source, tree)
+        raw = collect_raw_findings(ctx, rules)
+        suppressions = suppressions_for(source)
+        summary = extract_module(module, key, tree)
+    return {
+        "digest": digest,
+        "module": module,
+        "project_imports": summary.project_imports,
+        "raw": [f.to_dict() for f in raw],
+        "suppressions": {str(k): v for k, v in suppressions.items()},
+        "summary": summary.to_dict(),
+    }
+
+
+def analyze_project(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[type[Rule]] | None = None,
+    cache_path: Path | None = None,
+    whole_program: bool = True,
+    roots: Sequence[str] = DEFAULT_HOT_ROOTS,
+) -> ProjectReport:
+    """Analyze every ``*.py`` under ``paths``, incrementally when cached.
+
+    With ``cache_path=None`` the run is always cold and nothing is
+    written.  Otherwise the cache at that path is consulted and updated
+    in place.  ``whole_program=False`` restricts the run to the leaf
+    rules (the pre-PR behaviour), e.g. for analyzing a single file.
+    """
+    rule_pack = list(rules) if rules is not None else registered_rules()
+    pack = rule_pack_digest(rule_pack)
+    files = [Path(p) for p in iter_python_files(paths)]
+    old = _load_cache(cache_path, pack)
+    old_files = {
+        k: _as_map(v) for k, v in _as_map(old.get("files")).items()
+    }
+
+    records: dict[str, dict[str, object]] = {}
+    digests: dict[str, str] = {}
+    sources: dict[str, str] = {}
+    to_analyze: set[str] = set()
+    for path in files:
+        key = str(path)
+        data = path.read_bytes()
+        digests[key] = hashlib.sha256(data).hexdigest()
+        cached = old_files.get(key)
+        if cached is not None and cached.get("digest") == digests[key]:
+            records[key] = dict(cached)
+        else:
+            to_analyze.add(key)
+            sources[key] = data.decode("utf-8", errors="replace")
+
+    # Reverse dependencies: a changed module's importers are re-analyzed
+    # too (transitively).  Extraction is per-file, but this keeps cached
+    # state honest against cross-file coupling and matches what a
+    # reviewer expects "incremental" to mean.
+    importers: dict[str, set[str]] = {}
+    for key, rec in records.items():
+        for mod in _as_list(rec.get("project_imports")):
+            importers.setdefault(str(mod), set()).add(key)
+    changed_modules: set[str] = set()
+    queue: list[str] = []
+    for key in to_analyze:
+        cached = old_files.get(key)
+        module = str(cached["module"]) if cached and "module" in cached \
+            else _module_name(Path(key))
+        for mod in _ancestors(module):
+            if mod not in changed_modules:
+                changed_modules.add(mod)
+                queue.append(mod)
+    while queue:
+        mod = queue.pop()
+        for key in sorted(importers.get(mod, ())):
+            if key in to_analyze:
+                continue
+            to_analyze.add(key)
+            records.pop(key, None)
+            sources[key] = Path(key).read_text()
+            dep_module = _module_name(Path(key))
+            for anc in _ancestors(dep_module):
+                if anc not in changed_modules:
+                    changed_modules.add(anc)
+                    queue.append(anc)
+
+    for key in sorted(to_analyze):
+        records[key] = _analyze_one(key, sources[key], rule_pack, digests[key])
+
+    # ---- whole-program passes over the summaries -------------------------
+    wp_raw: list[Finding] = []
+    unknown: dict[str, tuple[str, int]] = {}
+    wp_cached = False
+    wp_entry: dict[str, object] | None = None
+    if whole_program:
+        state = _wp_state(pack, roots, records)
+        old_wp = _as_map(old.get("wp"))
+        if old_wp.get("state") == state:
+            wp_raw = [
+                _finding_from_dict(_as_map(d))
+                for d in _as_list(old_wp.get("raw"))
+            ]
+            unknown = {
+                str(k): (str(_as_list(v)[0]), int(str(_as_list(v)[1])))
+                for k, v in _as_map(old_wp.get("unknown")).items()
+                if len(_as_list(v)) == 2
+            }
+            wp_cached = True
+        else:
+            summaries = [
+                ModuleSummary.from_dict(_as_map(records[k].get("summary")))
+                for k in sorted(records)
+            ]
+            graph = link(list(iter_project_summaries(summaries)))
+            wp_raw = check_purity(graph, roots)
+            wp_raw.extend(check_picklability(graph))
+            wp_raw.extend(check_seedflow(graph))
+            unknown = dict(graph.unknown)
+        wp_entry = {
+            "state": state,
+            "raw": [f.to_dict() for f in wp_raw],
+            "unknown": {k: list(v) for k, v in sorted(unknown.items())},
+        }
+
+    # ---- merge tiers per file, then apply suppressions -------------------
+    by_path: dict[str, list[Finding]] = {key: [] for key in records}
+    for key, rec in records.items():
+        by_path[key] = [
+            _finding_from_dict(_as_map(d)) for d in _as_list(rec.get("raw"))
+        ]
+    for f in wp_raw:
+        by_path.setdefault(f.path, []).append(f)
+
+    findings: list[Finding] = []
+    for key in sorted(by_path):
+        rec = records.get(key)
+        suppressions: dict[int, list[str]] = {}
+        if rec is not None:
+            suppressions = {
+                int(line): [str(c) for c in _as_list(codes)]
+                for line, codes in _as_map(rec.get("suppressions")).items()
+            }
+        findings.extend(apply_suppressions(key, by_path[key], suppressions))
+
+    if cache_path is not None:
+        _save_cache(cache_path, pack, records, wp_entry)
+
+    return ProjectReport(
+        findings=sorted(findings),
+        files_checked=len(files),
+        files_parsed=len(to_analyze),
+        files_cached=len(files) - len(to_analyze),
+        whole_program_cached=wp_cached,
+        unknown_dispatch=unknown,
+    )

@@ -30,7 +30,7 @@ import io
 import json
 import re
 import tokenize
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -40,6 +40,10 @@ __all__ = [
     "Rule",
     "rule",
     "registered_rules",
+    "parse_failure",
+    "collect_raw_findings",
+    "suppressions_for",
+    "apply_suppressions",
     "analyze_file",
     "analyze_paths",
     "render_text",
@@ -189,52 +193,84 @@ def _suppressions(source: str) -> dict[int, set[str]]:
     return out
 
 
+def parse_failure(path: Path, exc: SyntaxError) -> Finding:
+    """The RPR999 finding for a file the analyzer could not parse."""
+    return Finding(
+        path=str(path),
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code="RPR999",
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def collect_raw_findings(
+    ctx: FileContext, rules: Sequence[type[Rule]] | None = None
+) -> list[Finding]:
+    """Run the leaf rule pack over one parsed file, pre-suppression."""
+    raw: list[Finding] = []
+    for rule_cls in rules if rules is not None else registered_rules():
+        raw.extend(rule_cls().check(ctx))
+    return raw
+
+
+def suppressions_for(source: str) -> dict[int, list[str]]:
+    """Public view of the per-line suppression map (sorted code lists)."""
+    return {line: sorted(codes) for line, codes in _suppressions(source).items()}
+
+
+def apply_suppressions(
+    path: str,
+    raw: Iterable[Finding],
+    suppressions: Mapping[int, Iterable[str]],
+) -> list[Finding]:
+    """Drop suppressed findings; report stale suppressions (RPR000).
+
+    One :data:`UNUSED_SUPPRESSION` finding is emitted *per line*, naming
+    every unused code on it — a line carrying ``noqa[RPR001, RPR007]``
+    with neither firing reports once, not twice, so the baseline and the
+    human report stay deduplicated.
+    """
+    used: dict[int, set[str]] = {}
+    kept: list[Finding] = []
+    for f in raw:
+        codes = set(suppressions.get(f.line, ()))
+        if f.code in codes:
+            used.setdefault(f.line, set()).add(f.code)
+        else:
+            kept.append(f)
+    for line in sorted(suppressions):
+        unused = sorted(set(suppressions[line]) - used.get(line, set()))
+        if not unused:
+            continue
+        noun = ", ".join(unused)
+        kept.append(
+            Finding(
+                path=path,
+                line=line,
+                col=0,
+                code=UNUSED_SUPPRESSION,
+                message=f"unused suppression: no {noun} finding on this line",
+            )
+        )
+    return sorted(kept)
+
+
 def analyze_file(path: Path, rules: Sequence[type[Rule]] | None = None) -> list[Finding]:
     """Run the rule pack over one file, honouring suppressions.
 
-    Returns the surviving findings plus one :data:`UNUSED_SUPPRESSION`
-    finding per noqa code that matched nothing (a stale suppression
+    Returns the surviving findings plus :data:`UNUSED_SUPPRESSION`
+    findings for noqa codes that matched nothing (a stale suppression
     would silently swallow the next real violation on that line).
     """
     source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code="RPR999",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return [parse_failure(path, exc)]
     ctx = FileContext(path, source, tree)
-    raw: list[Finding] = []
-    for rule_cls in rules if rules is not None else registered_rules():
-        raw.extend(rule_cls().check(ctx))
-
-    suppressions = _suppressions(source)
-    used: dict[int, set[str]] = {}
-    kept: list[Finding] = []
-    for f in raw:
-        codes = suppressions.get(f.line, ())
-        if f.code in codes:
-            used.setdefault(f.line, set()).add(f.code)
-        else:
-            kept.append(f)
-    for line, codes in sorted(suppressions.items()):
-        for code in sorted(codes - used.get(line, set())):
-            kept.append(
-                Finding(
-                    path=str(path),
-                    line=line,
-                    col=0,
-                    code=UNUSED_SUPPRESSION,
-                    message=f"unused suppression: no {code} finding on this line",
-                )
-            )
-    return sorted(kept)
+    raw = collect_raw_findings(ctx, rules)
+    return apply_suppressions(str(path), raw, _suppressions(source))
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:

@@ -104,7 +104,7 @@ class InvariantChecker:
 
     def check_handler_left_clock(self, expected_now: float, now: float) -> None:
         """An event handler must not move ``Simulation.now`` itself."""
-        if now != expected_now:
+        if now != expected_now:  # repro: noqa[RPR012] -- exact identity IS the invariant: a handler may not move the clock at all, not even by one ulp
             raise InvariantViolation(
                 f"an event handler moved the clock from t={expected_now} to "
                 f"t={now}: virtual time may only advance through the event "

@@ -22,7 +22,13 @@ from collections.abc import Iterator
 
 from repro.analysis.engine import FileContext, Finding, Rule, rule
 
-__all__ = ["DETERMINISM_PACKAGES", "SIM_PACKAGES"]
+__all__ = ["DETERMINISM_PACKAGES", "SIM_PACKAGES", "RULE_PACK_VERSION"]
+
+#: Bumped whenever any rule's behaviour changes (new rule, changed
+#: heuristic, reworded message).  The incremental cache keys cached
+#: per-file results on this, so a pack change invalidates every entry
+#: instead of replaying findings from an older pack.
+RULE_PACK_VERSION = 2
 
 #: Packages whose code executes inside a seeded simulation: any hidden
 #: entropy here silently invalidates every figure.
@@ -722,4 +728,141 @@ class ResultSerializationRule(Rule):
                     "bypasses the versioned wire schema; serialize result "
                     "objects through repro.experiments.schema.dumps/dump so "
                     "every consumer shares one envelope",
+                )
+
+
+@rule
+class ExactTimeEqualityRule(Rule):
+    """RPR012: exact float equality between time-valued quantities.
+
+    Virtual time is accumulated floating-point arithmetic: two paths to
+    "the same instant" (``arrival + service`` vs a calendar-bucket
+    rounding) can differ in the last ulp, so ``==`` / ``!=`` between
+    time-valued expressions encodes a comparison that is true on one
+    platform and false on another.  Compare with a tolerance
+    (``math.isclose``/``abs(a - b) < eps``) or, where the engine
+    guarantees bit-identical replay *by construction*, suppress with a
+    reason.  Sentinel comparisons (``0``, ``0.0``, ``inf``, ``None``)
+    are exempt: they test "unset/empty", not simultaneity.
+    """
+
+    code = "RPR012"
+    summary = "exact ==/!= between time-valued floats (use a tolerance)"
+
+    #: Names that denote the simulation clock or a point on it.
+    _TIME_NAMES = {"now", "t", "vtime", "sim_time", "timestamp", "clock"}
+
+    #: A name with one of these suffixes is seconds-valued by the
+    #: project convention (DESIGN.md §6) or names an instant.
+    _TIME_SUFFIXES = (
+        "latency", "rtt", "deadline", "time", "now", "_s", "_sec", "_seconds",
+    )
+
+    def _time_valued(self, node: ast.AST) -> bool:
+        name = _terminal_name(node)
+        if name is None:
+            return False
+        low = name.lower()
+        return low in self._TIME_NAMES or low.endswith(self._TIME_SUFFIXES)
+
+    def _sentinel(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if v is None or isinstance(v, bool):
+                return True
+            return isinstance(v, (int, float)) and (v == 0 or v != v or v in (
+                float("inf"), float("-inf")))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return self._sentinel(node.operand)
+        if isinstance(node, ast.Call) and _terminal_name(node.func) == "float":
+            return True  # float("inf") / float("nan") sentinels
+        if _dotted(node) in ("math.inf", "math.nan", "np.inf", "numpy.inf"):
+            return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            if not isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                continue
+            left, right = node.left, node.comparators[0]
+            if self._sentinel(left) or self._sentinel(right):
+                continue
+            lt, rt = self._time_valued(left), self._time_valued(right)
+            literal = isinstance(left, ast.Constant) or isinstance(right, ast.Constant)
+            if (lt and rt) or ((lt or rt) and literal):
+                op = "==" if isinstance(node.ops[0], ast.Eq) else "!="
+                yield self.finding(
+                    ctx, node,
+                    f"exact {op} between time-valued floats: virtual time is "
+                    "accumulated floating-point, so last-ulp differences make "
+                    "this comparison platform-dependent; use math.isclose or "
+                    "an explicit tolerance",
+                )
+
+
+@rule
+class ExceptionSwallowRule(Rule):
+    """RPR013: broad exception handlers that silently discard the error.
+
+    In the supervision and service layers an ``except Exception: pass``
+    (or ``continue`` / bare ``return``) erases the only evidence of a
+    crashed worker or a failed request: the campaign "succeeds" with a
+    hole in its results.  Handlers must record the failure (re-raise,
+    return an error value, append to a report) — the supervised-pool
+    contract is that *no worker death is silent*.  Deliberate drops
+    (e.g. best-effort cleanup) carry a suppression with the reason.
+    """
+
+    code = "RPR013"
+    summary = "broad except handler swallows the exception (pass/continue/bare return)"
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        t = handler.type
+        if t is None:
+            return True  # bare except
+        if isinstance(t, ast.Tuple):
+            return any(_terminal_name(e) in self._BROAD for e in t.elts)
+        return _terminal_name(t) in self._BROAD
+
+    def _swallows(self, handler: ast.ExceptHandler) -> bool:
+        body = handler.body
+        # A leading string literal (comment-by-docstring) doesn't count
+        # as handling the error.
+        if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ):
+            body = body[1:]
+        if not body:
+            return True
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (isinstance(stmt.value, ast.Constant) and stmt.value.value is None)
+            ):
+                continue
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.parallel.supervise", "repro.service"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._is_broad(node) and self._swallows(node):
+                shape = "bare except" if node.type is None else "except Exception"
+                yield self.finding(
+                    ctx, node,
+                    f"{shape} handler discards the error without recording "
+                    "it; a crashed worker or failed request becomes a silent "
+                    "hole in the results — re-raise, return an error value, "
+                    "or log to the run report",
                 )

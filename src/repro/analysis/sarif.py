@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 output for the analysis pass.
+
+Emits the minimal document GitHub code scanning ingests: one run, the
+full rule catalog (leaf rules + whole-program analyses + the engine's
+RPR000/RPR999 synthetics) under ``tool.driver.rules``, and one result
+per finding with a ``physicalLocation`` (1-based line/column), a
+``partialFingerprints`` entry carrying the baseline fingerprint, and —
+when a :class:`~repro.analysis.baseline.Baseline` is supplied — a
+``baselineState`` of ``"unchanged"`` or ``"new"`` so the code-scanning
+UI separates accepted findings from regressions.
+
+The document is deliberately small; the vendored schema subset in
+``tests/analysis/sarif-schema-min.json`` pins exactly the properties we
+rely on, so a refactor that drops one fails the suite rather than
+silently degrading the upload.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.engine import UNUSED_SUPPRESSION, Finding, registered_rules
+from repro.analysis.purity import PICKLE_INFO, PURITY_INFO, AnalysisInfo
+from repro.analysis.seedflow import SEEDFLOW_INFO
+
+__all__ = ["SARIF_VERSION", "sarif_document", "render_sarif", "rule_catalog"]
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Synthetic codes the engine emits without a registered Rule class.
+_ENGINE_CODES: tuple[tuple[str, str], ...] = (
+    (UNUSED_SUPPRESSION, "unused suppression: the noqa matched no finding"),
+    ("RPR999", "file does not parse"),
+)
+
+#: Codes that are hygiene warnings rather than determinism defects.
+_WARNING_CODES = {UNUSED_SUPPRESSION}
+
+
+def rule_catalog(
+    analyses: Iterable[AnalysisInfo] = (PURITY_INFO, PICKLE_INFO, SEEDFLOW_INFO),
+) -> list[tuple[str, str]]:
+    """Ordered ``(code, summary)`` for every code the pass can emit."""
+    catalog = [(cls.code, cls.summary) for cls in registered_rules()]
+    catalog.extend((info.code, info.summary) for info in analyses)
+    catalog.extend(_ENGINE_CODES)
+    return sorted(catalog)
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    *,
+    baseline: Baseline | None = None,
+    tool_version: str = "1.0.0",
+) -> dict[str, object]:
+    """Build the SARIF 2.1.0 document as a plain dict."""
+    catalog = rule_catalog()
+    rule_index = {code: i for i, (code, _) in enumerate(catalog)}
+    rules: list[dict[str, object]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+        }
+        for code, summary in catalog
+    ]
+    results: list[dict[str, object]] = []
+    for f in findings:
+        fp = fingerprint(f)
+        result: dict[str, object] = {
+            "ruleId": f.code,
+            "level": "warning" if f.code in _WARNING_CODES else "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproAnalysis/v1": fp},
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        if baseline is not None:
+            result["baselineState"] = (
+                "unchanged" if fp in baseline.entries else "new"
+            )
+        results.append(result)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "version": tool_version,
+                        "informationUri":
+                            "https://example.invalid/repro/docs/static_analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    baseline: Baseline | None = None,
+    tool_version: str = "1.0.0",
+) -> str:
+    """Serialize :func:`sarif_document` deterministically."""
+    doc = sarif_document(findings, baseline=baseline, tool_version=tool_version)
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"

@@ -449,7 +449,21 @@ def _spawn(fn, tasks, index, attempt, policy, now) -> _InFlight:
         target=_worker_main, args=(send_end, index, fn, tasks[index]),
         daemon=True,
     )
-    proc.start()
+    # Mask SIGINT across the fork.  A Ctrl-C landing mid-``start()``
+    # raises KeyboardInterrupt inside an ``os.register_at_fork``
+    # callback (e.g. logging's lock release), where CPython reports it
+    # as "Exception ignored" and DROPS it — the interrupt is silently
+    # lost and the run completes as if never signalled.  Deferring
+    # delivery until the mask is restored lands it in the supervisor
+    # loop, whose cleanup path terminates workers and re-raises.
+    if hasattr(signal, "pthread_sigmask"):
+        mask = signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGINT})
+        try:
+            proc.start()
+        finally:
+            signal.pthread_sigmask(signal.SIG_SETMASK, mask)
+    else:  # pragma: no cover - Windows: no fork, no at-fork window
+        proc.start()
     # Close the parent's copy of the write end so a dead child reads as
     # EOF on recv_end instead of a hang.
     send_end.close()

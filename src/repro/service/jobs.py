@@ -289,8 +289,8 @@ class JobManager:
                 spec = compile_campaign(
                     json.loads(doc_path.read_text(encoding="utf-8"))
                 )
-            except Exception:
-                continue  # foreign or corrupt spool entry: leave it alone
+            except Exception:  # repro: noqa[RPR013] -- spool rescan is best-effort: a foreign/corrupt entry must not block recovery of the valid ones
+                continue
             job_id = spec.digest()
             with self._lock:
                 if job_id in self._jobs:

@@ -1,0 +1,175 @@
+"""Incremental cache: warm replay, invalidation, driver-level suppression."""
+
+import json
+import textwrap
+
+import repro.analysis.cache as cache_mod
+from repro.analysis.cache import analyze_project, rule_pack_digest
+
+
+def write_tree(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return tmp_path
+
+
+BASIC_TREE = {
+    "proj/repro/a.py": """\
+        def helper():
+            return 1
+        """,
+    "proj/repro/b.py": """\
+        from repro.a import helper
+
+        def caller():
+            return helper()
+        """,
+    "proj/repro/c.py": """\
+        def standalone():
+            return 3
+        """,
+}
+
+
+class TestWarmReplay:
+    def test_second_run_parses_nothing(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        cold = analyze_project([root], cache_path=cache)
+        warm = analyze_project([root], cache_path=cache)
+        assert cold.files_parsed == 3 and cold.files_cached == 0
+        assert warm.files_parsed == 0 and warm.files_cached == 3
+        assert warm.whole_program_cached
+        assert warm.findings == cold.findings
+
+    def test_no_cache_path_writes_nothing(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        analyze_project([root], cache_path=None)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_corrupt_cache_degrades_to_cold(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        report = analyze_project([root], cache_path=cache)
+        assert report.files_parsed == 3
+        # And the cache was rewritten usable.
+        assert analyze_project([root], cache_path=cache).files_parsed == 0
+
+
+class TestInvalidation:
+    def test_edit_reanalyzes_file_and_reverse_deps(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        analyze_project([root], cache_path=cache)
+        (root / "repro" / "a.py").write_text(
+            "def helper():\n    return 42\n"
+        )
+        warm = analyze_project([root], cache_path=cache)
+        # a.py changed; b.py imports repro.a; c.py untouched.
+        assert warm.files_parsed == 2
+        assert warm.files_cached == 1
+
+    def test_rule_pack_bump_invalidates_everything(self, tmp_path, monkeypatch):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        analyze_project([root], cache_path=cache)
+        monkeypatch.setattr(cache_mod, "RULE_PACK_VERSION", 9999)
+        warm = analyze_project([root], cache_path=cache)
+        assert warm.files_parsed == 3
+        assert not warm.whole_program_cached
+
+    def test_digest_covers_rule_pack_version(self, monkeypatch):
+        before = rule_pack_digest()
+        monkeypatch.setattr(cache_mod, "RULE_PACK_VERSION", 9999)
+        assert rule_pack_digest() != before
+
+    def test_new_file_is_picked_up(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        analyze_project([root], cache_path=cache)
+        (root / "repro" / "d.py").write_text("def extra():\n    return 4\n")
+        warm = analyze_project([root], cache_path=cache)
+        assert warm.files_checked == 4
+        assert warm.files_parsed == 1
+
+    def test_deleted_file_drops_from_results(self, tmp_path):
+        tree = dict(BASIC_TREE)
+        tree["proj/repro/bad.py"] = """\
+            import time
+
+            def handler():  # repro.sim scope not applied: wrong package
+                return 1
+            """
+        root = write_tree(tmp_path, tree) / "proj"
+        cache = tmp_path / "cache.json"
+        first = analyze_project([root], cache_path=cache)
+        assert first.files_checked == 4
+        (root / "repro" / "bad.py").unlink()
+        second = analyze_project([root], cache_path=cache)
+        assert second.files_checked == 3
+
+
+class TestDriverSuppression:
+    """Whole-program findings flow through noqa + RPR000 like leaf ones."""
+
+    HOT = """\
+        import time
+
+        def simulate_hot():
+            return helper()
+
+        def helper():
+            return time.time(){noqa}
+        """
+
+    def test_rpr101_finding_without_noqa(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "proj/repro/app.py": self.HOT.format(noqa=""),
+        }) / "proj"
+        report = analyze_project(
+            [root], cache_path=None,
+            roots=["repro.app.simulate_*"],
+        )
+        codes = [f.code for f in report.findings]
+        # Leaf rule RPR001 doesn't fire (repro.app is outside the
+        # determinism packages) but the whole-program pass does.
+        assert codes == ["RPR101"]
+
+    def test_noqa_suppresses_whole_program_finding(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "proj/repro/app.py": self.HOT.format(
+                noqa="  # repro: noqa[RPR101] -- fixture"),
+        }) / "proj"
+        report = analyze_project(
+            [root], cache_path=None,
+            roots=["repro.app.simulate_*"],
+        )
+        assert report.findings == []
+
+    def test_unused_rpr101_noqa_reports_rpr000(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "proj/repro/app.py": """\
+                def simulate_hot():
+                    return 1  # repro: noqa[RPR101] -- nothing here
+                """,
+        }) / "proj"
+        report = analyze_project(
+            [root], cache_path=None,
+            roots=["repro.app.simulate_*"],
+        )
+        assert [f.code for f in report.findings] == ["RPR000"]
+        assert "RPR101" in report.findings[0].message
+
+
+class TestCacheFileShape:
+    def test_cache_is_keyed_by_pack_digest(self, tmp_path):
+        root = write_tree(tmp_path, BASIC_TREE) / "proj"
+        cache = tmp_path / "cache.json"
+        analyze_project([root], cache_path=cache)
+        doc = json.loads(cache.read_text())
+        assert doc["pack"] == rule_pack_digest()
+        assert len(doc["files"]) == 3
+        assert "wp" in doc

@@ -1,0 +1,301 @@
+"""Call-graph extraction and linking corner cases.
+
+Fixture modules are written under a ``repro/...`` subtree of
+``tmp_path`` so module derivation matches real source, then extracted
+and linked exactly as the driver does it.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import (
+    DUCK_CAP,
+    extract_module,
+    link,
+    render_chain,
+    shortest_chains,
+)
+from repro.analysis.engine import _module_name
+
+
+def build_graph(tmp_path, files):
+    """Write ``{relpath: source}`` fixtures, extract, and link them."""
+    summaries = []
+    for rel, src in sorted(files.items()):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+        tree = ast.parse(path.read_text(), filename=str(path))
+        summaries.append(extract_module(_module_name(path), str(path), tree))
+    return link(summaries)
+
+
+class TestDirectResolution:
+    def test_module_level_call_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            def helper():
+                return 1
+
+            def main():
+                return helper()
+            """})
+        assert "repro.app.helper" in graph.edges["repro.app.main"]
+
+    def test_import_alias_resolution(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "repro/lib.py": """\
+                def helper():
+                    return 1
+                """,
+            "repro/app.py": """\
+                from repro.lib import helper as h
+
+                def main():
+                    return h()
+                """,
+        })
+        assert "repro.lib.helper" in graph.edges["repro.app.main"]
+
+    def test_function_local_import_resolves(self, tmp_path):
+        # Regression: `from repro.sim.runner import run_deployment` inside
+        # a function body must bind like a top-level import.
+        graph = build_graph(tmp_path, {
+            "repro/lib.py": """\
+                def helper():
+                    return 1
+                """,
+            "repro/app.py": """\
+                def main():
+                    from repro.lib import helper
+                    return helper()
+                """,
+        })
+        assert "repro.lib.helper" in graph.edges["repro.app.main"]
+
+    def test_reexport_through_package_init(self, tmp_path):
+        graph = build_graph(tmp_path, {
+            "repro/pkg/__init__.py": """\
+                from repro.pkg.impl import helper
+                """,
+            "repro/pkg/impl.py": """\
+                def helper():
+                    return 1
+                """,
+            "repro/app.py": """\
+                from repro.pkg import helper
+
+                def main():
+                    return helper()
+                """,
+        })
+        assert "repro.pkg.impl.helper" in graph.edges["repro.app.main"]
+
+
+class TestMethodResolution:
+    def test_self_method(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Worker:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return 1
+            """})
+        assert "repro.app.Worker.step" in graph.edges["repro.app.Worker.run"]
+
+    def test_inherited_method_through_self(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Base:
+                def step(self):
+                    return 1
+
+            class Child(Base):
+                def run(self):
+                    return self.step()
+            """})
+        assert "repro.app.Base.step" in graph.edges["repro.app.Child.run"]
+
+    def test_virtual_dispatch_includes_overrides(self, tmp_path):
+        # A call through a typed receiver fans out to every subclass
+        # override — the DispatchPolicy.choose shape.
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Policy:
+                def choose(self):
+                    raise NotImplementedError
+
+            class RoundRobin(Policy):
+                def choose(self):
+                    return 0
+
+            class Shortest(Policy):
+                def choose(self):
+                    return 1
+
+            def dispatch(policy: Policy):
+                return policy.choose()
+            """})
+        edges = graph.edges["repro.app.dispatch"]
+        assert "repro.app.RoundRobin.choose" in edges
+        assert "repro.app.Shortest.choose" in edges
+
+    def test_self_attr_typed_from_init_param(self, tmp_path):
+        # `self.policy = policy` with an annotated ctor param types the
+        # attribute, so `self.policy.choose()` resolves.
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Policy:
+                def choose(self):
+                    return 0
+
+            class Balancer:
+                def __init__(self, policy: Policy):
+                    self.policy = policy
+
+                def route(self):
+                    return self.policy.choose()
+            """})
+        assert "repro.app.Policy.choose" in graph.edges["repro.app.Balancer.route"]
+
+    def test_constructor_edge(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Station:
+                def __init__(self):
+                    self.n = 0
+
+            def build():
+                return Station()
+            """})
+        assert "repro.app.Station.__init__" in graph.edges["repro.app.build"]
+
+
+class TestDecoratorsAndPartials:
+    def test_decorated_function_resolves(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            import functools
+
+            def deco(fn):
+                @functools.wraps(fn)
+                def wrapper(*a, **k):
+                    return fn(*a, **k)
+                return wrapper
+
+            @deco
+            def helper():
+                return 1
+
+            def main():
+                return helper()
+            """})
+        assert "repro.app.helper" in graph.edges["repro.app.main"]
+
+    def test_partial_argument_descriptor(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            from functools import partial
+
+            def worker(k, item):
+                return k * item
+
+            def main(tasks):
+                return run_tasks(partial(worker, 3), tasks)
+            """})
+        _, fn = graph.functions["repro.app.main"]
+        descriptors = [c.fn_arg for c in fn.calls if c.fn_arg]
+        assert "partial:name:worker" in descriptors
+
+
+class TestDynamicDispatchFallback:
+    def test_duck_typing_under_cap(self, tmp_path):
+        # An untyped receiver's method call falls back to name matching
+        # when few project methods share the name.
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Station:
+                def submit(self):
+                    return 1
+
+            def feed(target):
+                return target.submit()
+            """})
+        assert "repro.app.Station.submit" in graph.edges["repro.app.feed"]
+
+    def test_unknown_warn_once_over_cap(self, tmp_path):
+        classes = "\n".join(
+            f"class C{i}:\n    def frob(self):\n        return {i}\n"
+            for i in range(DUCK_CAP + 1)
+        )
+        graph = build_graph(tmp_path, {"repro/app.py": classes + """
+def first(x):
+    return x.frob()
+
+def second(y):
+    return y.frob()
+"""})
+        # Too many candidates: no edges, one warn entry for both sites.
+        assert graph.edges["repro.app.first"] == []
+        assert graph.edges["repro.app.second"] == []
+        assert list(graph.unknown) == ["frob"]
+        caller, _line = graph.unknown["frob"]
+        assert caller == "repro.app.first"
+
+    def test_external_receiver_not_reported(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            import argparse
+
+            def main():
+                p = argparse.ArgumentParser()
+                return p.parse_args()
+            """})
+        assert graph.unknown == {}
+
+
+class TestReachability:
+    def test_shortest_chain_renders_interprocedurally(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            def c():
+                return 1
+
+            def b():
+                return c()
+
+            def a():
+                return b()
+            """})
+        chains = shortest_chains(graph, ["repro.app.a"])
+        assert chains["repro.app.c"] == [
+            "repro.app.a", "repro.app.b", "repro.app.c",
+        ]
+        assert render_chain(chains["repro.app.c"]) == "a → b → c"
+
+    def test_fnmatch_root_patterns(self, tmp_path):
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            def simulate_x():
+                return helper()
+
+            def helper():
+                return 1
+            """})
+        chains = shortest_chains(graph, ["repro.app.simulate_*"])
+        assert "repro.app.helper" in chains
+
+    def test_observables_dict_value_is_reachable(self, tmp_path):
+        # The observables() protocol returns callables in a dict; they
+        # must count as potential calls of the returning function.
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            def probe():
+                return 1
+
+            def observables():
+                return {"occupancy": probe}
+            """})
+        assert "repro.app.probe" in graph.edges["repro.app.observables"]
+
+    def test_scheduler_callback_is_reachable(self, tmp_path):
+        # `sim.schedule(gap, self._fire)` passes a bound method as an
+        # argument — a ref edge, not a call, but still reachable.
+        graph = build_graph(tmp_path, {"repro/app.py": """\
+            class Source:
+                def start(self, sim):
+                    sim.schedule(0.1, self._fire)
+
+                def _fire(self):
+                    return 1
+            """})
+        assert "repro.app.Source._fire" in graph.edges["repro.app.Source.start"]

@@ -1,9 +1,11 @@
 """Engine behavior: suppressions, report formats, CLI exit codes."""
 
 import json
+import os
 import subprocess
 import sys
 import textwrap
+from pathlib import Path
 
 import pytest
 
@@ -30,6 +32,17 @@ BAD_SIM = """\
     def handler():
         return time.time()
     """
+
+
+def run_cli(*args, cwd=None):
+    """Run the CLI with an absolute PYTHONPATH so any cwd works."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd, env=env,
+    )
 
 
 class TestSuppressions:
@@ -114,27 +127,24 @@ class TestReports:
 
 
 class TestCli:
-    def run_cli(self, *args):
-        return subprocess.run(
-            [sys.executable, "-m", "repro.analysis", *args],
-            capture_output=True, text=True,
-        )
+    def run_cli(self, *args, cwd=None):
+        return run_cli(*args, cwd=cwd)
 
     def test_exit_zero_on_clean_tree(self, tmp_path):
         write(tmp_path, "repro/sim/good.py", "x = 1\n")
-        proc = self.run_cli(str(tmp_path))
+        proc = self.run_cli(str(tmp_path), cwd=tmp_path)
         assert proc.returncode == 0, proc.stdout + proc.stderr
         assert "clean" in proc.stdout
 
     def test_exit_one_on_findings(self, tmp_path):
         write(tmp_path, "repro/sim/bad.py", BAD_SIM)
-        proc = self.run_cli(str(tmp_path))
+        proc = self.run_cli(str(tmp_path), cwd=tmp_path)
         assert proc.returncode == 1
         assert "RPR001" in proc.stdout
 
     def test_json_format(self, tmp_path):
         write(tmp_path, "repro/sim/bad.py", BAD_SIM)
-        proc = self.run_cli(str(tmp_path), "--format", "json")
+        proc = self.run_cli(str(tmp_path), "--format", "json", cwd=tmp_path)
         doc = json.loads(proc.stdout)
         assert doc["counts"] == {"RPR001": 1}
 
@@ -153,3 +163,110 @@ class TestCli:
 def test_every_rule_has_code_and_summary(rule_cls):
     assert rule_cls.code.startswith("RPR")
     assert rule_cls.summary
+
+
+class TestUnusedSuppressionDedup:
+    def test_one_rpr000_per_line_lists_all_codes(self, tmp_path):
+        findings = analyze_file(write(tmp_path, "repro/sim/x.py", """\
+            x = 1  # repro: noqa[RPR001, RPR007] -- neither fires
+            """))
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "RPR001, RPR007" in findings[0].message
+
+    def test_partially_used_comment_reports_only_unused(self, tmp_path):
+        findings = analyze_file(write(tmp_path, "repro/sim/y.py", """\
+            import time
+
+            def handler():
+                return time.time()  # repro: noqa[RPR001, RPR007] -- wall clock is deliberate
+            """))
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "RPR007" in findings[0].message
+        assert "RPR001" not in findings[0].message
+
+
+class TestBaselineGateCli:
+    HOT = textwrap.dedent("""\
+        import time
+
+        def simulate_hot():
+            return helper()
+
+        def helper():
+            return time.time()
+        """)
+
+    def run_cli(self, *args, cwd=None):
+        return run_cli(*args, cwd=cwd)
+
+    def test_new_finding_fails_then_baselined_passes(self, tmp_path):
+        write(tmp_path, "repro/sim/fastsim.py", self.HOT)
+        baseline = tmp_path / "analysis-baseline.json"
+        # Gate fails while the finding is not baselined.
+        proc = self.run_cli(
+            "repro", "--baseline", "analysis-baseline.json", cwd=tmp_path
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "new finding(s) not in baseline" in proc.stderr
+        # Record it, then the same run passes.
+        record = self.run_cli(
+            "repro", "--baseline", "analysis-baseline.json",
+            "--update-baseline", cwd=tmp_path,
+        )
+        assert record.returncode == 0, record.stdout + record.stderr
+        assert baseline.exists()
+        again = self.run_cli(
+            "repro", "--baseline", "analysis-baseline.json", cwd=tmp_path
+        )
+        assert again.returncode == 0, again.stdout + again.stderr
+
+    def test_stale_entry_reported(self, tmp_path):
+        write(tmp_path, "repro/sim/fastsim.py", self.HOT)
+        self.run_cli("repro", "--baseline", "b.json", "--update-baseline",
+                     cwd=tmp_path)
+        write(tmp_path, "repro/sim/fastsim.py", "def simulate_hot():\n    return 1\n")
+        proc = self.run_cli("repro", "--baseline", "b.json", cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "stale baseline entry" in proc.stderr
+
+    def test_sarif_written_with_baseline_state(self, tmp_path):
+        write(tmp_path, "repro/sim/fastsim.py", self.HOT)
+        self.run_cli("repro", "--baseline", "b.json", "--update-baseline",
+                     cwd=tmp_path)
+        proc = self.run_cli(
+            "repro", "--baseline", "b.json", "--sarif", "out.sarif",
+            cwd=tmp_path,
+        )
+        assert proc.returncode == 0
+        doc = json.loads((tmp_path / "out.sarif").read_text())
+        states = [r["baselineState"] for r in doc["runs"][0]["results"]]
+        assert states and all(s == "unchanged" for s in states)
+
+    def test_explain_whole_program_code(self):
+        proc = self.run_cli("--explain", "RPR101")
+        assert proc.returncode == 0
+        assert "call graph" in proc.stdout or "call chain" in proc.stdout
+
+    def test_explain_leaf_rule(self):
+        proc = self.run_cli("--explain", "RPR012")
+        assert proc.returncode == 0
+        assert "RPR012" in proc.stdout
+
+    def test_explain_unknown_code(self):
+        proc = self.run_cli("--explain", "RPR998")
+        assert proc.returncode == 2
+
+    def test_list_rules_includes_whole_program(self):
+        proc = self.run_cli("--list-rules")
+        for code in ("RPR101", "RPR102", "RPR103"):
+            assert code in proc.stdout
+
+    def test_no_cache_leaves_no_file(self, tmp_path):
+        write(tmp_path, "repro/app.py", "x = 1\n")
+        self.run_cli("repro", "--no-cache", cwd=tmp_path)
+        assert not (tmp_path / ".repro-analysis-cache.json").exists()
+
+    def test_default_cache_created_and_speeds_rerun(self, tmp_path):
+        write(tmp_path, "repro/app.py", "x = 1\n")
+        self.run_cli("repro", cwd=tmp_path)
+        assert (tmp_path / ".repro-analysis-cache.json").exists()

@@ -486,3 +486,135 @@ class TestResultSerializationRule:
                 return json.dumps(result.as_dict())
             """)
         assert findings == []
+
+
+class TestExactTimeEqualityRule:
+    def test_flags_equality_between_time_values(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/bad.py", """\
+            def same_instant(now, deadline):
+                return now == deadline
+            """)
+        assert "RPR012" in codes(findings)
+        assert "tolerance" in findings[0].message
+
+    def test_flags_inequality_against_literal(self, tmp_path):
+        findings = check_source(tmp_path, "repro/core/bad.py", """\
+            def check(latency):
+                return latency != 0.005
+            """)
+        assert codes(findings) == ["RPR012"]
+
+    def test_zero_sentinel_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/ok.py", """\
+            def unset(deadline):
+                return deadline == 0.0
+            """)
+        assert codes(findings) == []
+
+    def test_inf_and_none_sentinels_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/ok2.py", """\
+            import math
+
+            def unbounded(deadline, rtt):
+                return deadline == math.inf or rtt == float("inf")
+            """)
+        assert codes(findings) == []
+
+    def test_non_time_names_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/ok3.py", """\
+            def compare(count, limit):
+                return count == limit
+            """)
+        assert codes(findings) == []
+
+    def test_tolerant_comparison_exempt(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/ok4.py", """\
+            def close(now, deadline):
+                return abs(now - deadline) < 1e-9
+            """)
+        assert codes(findings) == []
+
+    def test_tests_tree_not_in_scope(self, tmp_path):
+        findings = check_source(tmp_path, "tests/sim/test_x.py", """\
+            def assert_instant(now, deadline):
+                assert now == deadline
+            """)
+        assert codes(findings) == []
+
+
+class TestExceptionSwallowRule:
+    def test_flags_except_exception_pass(self, tmp_path):
+        findings = check_source(tmp_path, "repro/service/bad.py", """\
+            def poll(queue):
+                try:
+                    return queue.get()
+                except Exception:
+                    pass
+            """)
+        assert codes(findings) == ["RPR013"]
+        assert "silent" in findings[0].message
+
+    def test_flags_bare_except_continue(self, tmp_path):
+        findings = check_source(tmp_path, "repro/parallel/supervise.py", """\
+            def drain(items):
+                for item in items:
+                    try:
+                        item.close()
+                    except:  # noqa: E722 fixture
+                        continue
+            """)
+        assert codes(findings) == ["RPR013"]
+        assert "bare except" in findings[0].message
+
+    def test_flags_bare_return_none(self, tmp_path):
+        findings = check_source(tmp_path, "repro/service/bad2.py", """\
+            def fetch(job):
+                try:
+                    return job.result()
+                except BaseException:
+                    return None
+            """)
+        assert codes(findings) == ["RPR013"]
+
+    def test_handler_that_reraises_ok(self, tmp_path):
+        findings = check_source(tmp_path, "repro/service/ok.py", """\
+            def fetch(job):
+                try:
+                    return job.result()
+                except Exception as exc:
+                    raise RuntimeError("job failed") from exc
+            """)
+        assert codes(findings) == []
+
+    def test_handler_that_records_ok(self, tmp_path):
+        findings = check_source(tmp_path, "repro/parallel/supervise.py", """\
+            def drain(items, report):
+                for item in items:
+                    try:
+                        item.close()
+                    except Exception as exc:
+                        report.append(exc)
+            """)
+        assert codes(findings) == []
+
+    def test_narrow_exception_ok(self, tmp_path):
+        findings = check_source(tmp_path, "repro/service/ok2.py", """\
+            import os
+
+            def cleanup(path):
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+            """)
+        assert codes(findings) == []
+
+    def test_out_of_scope_package_ok(self, tmp_path):
+        findings = check_source(tmp_path, "repro/sim/engine_x.py", """\
+            def probe(fn):
+                try:
+                    return fn()
+                except Exception:
+                    pass
+            """)
+        assert codes(findings) == []

@@ -1,0 +1,111 @@
+"""SARIF output: structure, baselineState, and vendored-schema validation."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline, update_baseline
+from repro.analysis.engine import Finding
+from repro.analysis.sarif import render_sarif, rule_catalog, sarif_document
+
+SCHEMA_PATH = Path(__file__).with_name("sarif-schema-min.json")
+
+
+def validate(instance, schema, where="$"):
+    """Tiny recursive validator for the vendored schema subset."""
+    stype = schema.get("type")
+    if stype == "object":
+        assert isinstance(instance, dict), f"{where}: expected object"
+        for key in schema.get("required", []):
+            assert key in instance, f"{where}: missing required {key!r}"
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], sub, f"{where}.{key}")
+    elif stype == "array":
+        assert isinstance(instance, list), f"{where}: expected array"
+        items = schema.get("items")
+        if items:
+            for i, element in enumerate(instance):
+                validate(element, items, f"{where}[{i}]")
+    elif stype == "string":
+        assert isinstance(instance, str), f"{where}: expected string"
+    elif stype == "integer":
+        assert isinstance(instance, int) and not isinstance(instance, bool), \
+            f"{where}: expected integer"
+        if "minimum" in schema:
+            assert instance >= schema["minimum"], f"{where}: below minimum"
+    if "enum" in schema:
+        assert instance in schema["enum"], f"{where}: {instance!r} not in enum"
+
+
+def finding(code="RPR101", line=7, col=4, message="chain: a → b"):
+    return Finding(
+        path="src/repro/x.py", line=line, col=col, code=code, message=message
+    )
+
+
+class TestDocumentShape:
+    def test_validates_against_vendored_schema(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        doc = sarif_document([finding(), finding(code="RPR000")])
+        validate(doc, schema)
+
+    def test_validator_rejects_broken_document(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        doc = sarif_document([finding()])
+        del doc["runs"][0]["results"][0]["message"]
+        with pytest.raises(AssertionError):
+            validate(doc, schema)
+
+    def test_columns_and_lines_are_one_based(self):
+        doc = sarif_document([finding(line=7, col=0)])
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startLine"] == 7
+        assert region["startColumn"] == 1
+
+    def test_rule_catalog_covers_all_emittable_codes(self):
+        codes = {code for code, _ in rule_catalog()}
+        # Leaf rules, whole-program analyses, engine synthetics.
+        for must in ("RPR001", "RPR012", "RPR013", "RPR101", "RPR102",
+                     "RPR103", "RPR000", "RPR999"):
+            assert must in codes
+
+    def test_result_rule_index_points_at_its_rule(self):
+        doc = sarif_document([finding()])
+        run = doc["runs"][0]
+        result = run["results"][0]
+        rule = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert rule["id"] == result["ruleId"]
+
+    def test_levels(self):
+        doc = sarif_document([finding(code="RPR000"), finding()])
+        levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+        assert levels["RPR000"] == "warning"
+        assert levels["RPR101"] == "error"
+
+
+class TestBaselineState:
+    def test_unchanged_vs_new(self):
+        known = finding(message="known issue")
+        fresh = finding(message="fresh issue")
+        baseline = update_baseline(Baseline(), [known])
+        doc = sarif_document([known, fresh], baseline=baseline)
+        states = {
+            r["message"]["text"]: r["baselineState"]
+            for r in doc["runs"][0]["results"]
+        }
+        assert states["known issue"] == "unchanged"
+        assert states["fresh issue"] == "new"
+
+    def test_no_baseline_no_state(self):
+        doc = sarif_document([finding()])
+        assert "baselineState" not in doc["runs"][0]["results"][0]
+
+
+class TestRender:
+    def test_render_is_valid_json_and_stable(self):
+        out = render_sarif([finding()])
+        assert json.loads(out)["version"] == "2.1.0"
+        assert render_sarif([finding()]) == out

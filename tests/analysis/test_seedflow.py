@@ -1,0 +1,108 @@
+"""Seed-flow checking (RPR103): combined, reused and dropped derivations."""
+
+from repro.analysis.seedflow import check_seedflow
+from tests.analysis.test_callgraph import build_graph
+
+
+def seedflow(tmp_path, source):
+    return check_seedflow(build_graph(tmp_path, {"repro/app.py": source}))
+
+
+class TestCombined:
+    def test_derivation_inside_arithmetic(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                return derive_seed(base, i) + 1
+            """)
+        assert [f.code for f in findings] == ["RPR103"]
+        assert "arithmetically combined" in findings[0].message
+
+    def test_derived_variable_in_arithmetic(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                s = derive_seed(base, i)
+                return s * 2
+            """)
+        assert [f.code for f in findings] == ["RPR103"]
+        assert "'s'" in findings[0].message
+
+    def test_derived_variable_used_cleanly(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                s = derive_seed(base, i)
+                return consume(s)
+
+            def consume(s):
+                return s
+            """)
+        assert findings == []
+
+
+class TestReused:
+    def test_identical_derivation_twice(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                a = derive_seed(base, i)
+                b = derive_seed(base, i)
+                return a, b
+            """)
+        assert [f.code for f in findings] == ["RPR103"]
+        assert "identical arguments" in findings[0].message
+
+    def test_distinct_paths_ok(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                a = derive_seed(base, i, 0)
+                b = derive_seed(base, i, 1)
+                return a, b
+            """)
+        assert findings == []
+
+    def test_reuse_across_functions_not_flagged(self, tmp_path):
+        # Different functions may legitimately re-derive the same stream
+        # (replay); only same-function siblings are suspicious.
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def first(base):
+                return derive_seed(base, 0)
+
+            def second(base):
+                return derive_seed(base, 0)
+            """)
+        assert findings == []
+
+
+class TestDropped:
+    def test_statement_position_derivation(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                derive_seed(base, i)
+                return 1
+            """)
+        assert [f.code for f in findings] == ["RPR103"]
+        assert "discarded" in findings[0].message
+
+    def test_derivation_as_argument_ok(self, tmp_path):
+        findings = seedflow(tmp_path, """\
+            from repro.parallel.seeding import derive_seed
+
+            def main(base, i):
+                return consume(derive_seed(base, i))
+
+            def consume(s):
+                return s
+            """)
+        assert findings == []
